@@ -1,0 +1,185 @@
+package blackboxflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"blackboxflow"
+)
+
+// TestFacadeEndToEnd drives the whole public API: compile PactScript,
+// build a flow, analyze, enumerate, optimize, execute.
+func TestFacadeEndToEnd(t *testing.T) {
+	prog, err := blackboxflow.CompileUDFs(`
+map clean(ir) {
+	v := ir[1]
+	out := copy(ir)
+	out[1] = abs(v)
+	emit out
+}
+map keepPositive(ir) {
+	if ir[0] > 0 {
+		emit ir
+	}
+}
+reduce total(g) {
+	first := g.at(0)
+	out := copy(first)
+	out[1] = null
+	out[2] = sum(g, 1)
+	emit out
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flow := blackboxflow.NewFlow()
+	src := flow.Source("in", []string{"k", "v"}, blackboxflow.Hints{Records: 1000, AvgWidthBytes: 18})
+	flow.DeclareAttr("total")
+	c := flow.Map("clean", prog.Funcs["clean"], src, blackboxflow.Hints{})
+	k := flow.Map("keepPositive", prog.Funcs["keepPositive"], c, blackboxflow.Hints{Selectivity: 0.5})
+	r := flow.Reduce("total", prog.Funcs["total"], []string{"k"}, k, blackboxflow.Hints{KeyCardinality: 10})
+	flow.SetSink("out", r)
+
+	if err := flow.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+
+	alts, err := blackboxflow.Enumerate(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// clean (reads/writes v) and keepPositive (reads k) commute; the
+	// filter's condition field k is the grouping key, so it may also pass
+	// the Reduce (Theorem 2), while clean (writes v, which total reads)
+	// may not.
+	if len(alts) != 3 {
+		var got []string
+		for _, a := range alts {
+			got = append(got, a.String())
+		}
+		t.Fatalf("plans = %d %v, want 3", len(alts), got)
+	}
+
+	var data blackboxflow.DataSet
+	wantTotals := map[int64]int64{}
+	for i := 0; i < 1000; i++ {
+		key := int64(i%20 - 10) // keys -10..9
+		v := int64(i%7 - 3)
+		data = append(data, blackboxflow.Record{blackboxflow.Int(key), blackboxflow.Int(v)})
+		if key > 0 {
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			wantTotals[key] += av
+		}
+	}
+
+	phys, err := blackboxflow.Optimize(flow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := blackboxflow.NewEngine(4)
+	eng.AddSource("in", data)
+	out, stats, err := eng.Run(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(wantTotals) {
+		t.Fatalf("out = %d groups, want %d", len(out), len(wantTotals))
+	}
+	for _, rec := range out {
+		key := rec.Field(0).AsInt()
+		if got := rec.Field(2).AsInt(); got != wantTotals[key] {
+			t.Errorf("total(%d) = %d, want %d", key, got, wantTotals[key])
+		}
+	}
+	if stats.TotalUDFCalls() == 0 {
+		t.Error("stats must record UDF calls")
+	}
+}
+
+// TestFacadeAnalyze checks the standalone analysis entry point.
+func TestFacadeAnalyze(t *testing.T) {
+	prog := blackboxflow.MustParseUDFs(`
+func map f($ir) {
+	$a := getfield $ir 2
+	if $a < 10 goto S
+	emit $ir
+S: return
+}
+`)
+	e, err := blackboxflow.AnalyzeUDF(prog.Funcs["f"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Reads.Has(2) || !e.EmitsAtMostOne() {
+		t.Errorf("effect = %s", e)
+	}
+}
+
+// TestFacadeSampling derives hints by profiling and re-optimizes.
+func TestFacadeSampling(t *testing.T) {
+	prog := blackboxflow.MustParseUDFs(`
+func map rare($ir) {
+	$a := getfield $ir 0
+	if $a >= 10 goto S
+	emit $ir
+S: return
+}
+`)
+	flow := blackboxflow.NewFlow()
+	src := flow.Source("in", []string{"a"}, blackboxflow.Hints{Records: 1000, AvgWidthBytes: 9})
+	m := flow.Map("rare", prog.Funcs["rare"], src, blackboxflow.Hints{})
+	flow.SetSink("out", m)
+	if err := flow.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+	var data blackboxflow.DataSet
+	for i := 0; i < 1000; i++ {
+		data = append(data, blackboxflow.Record{blackboxflow.Int(int64(i % 100))})
+	}
+	if err := blackboxflow.DeriveHintsBySampling(flow, map[string]blackboxflow.DataSet{"in": data},
+		blackboxflow.SamplingOptions{SampleSize: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// The filter keeps 10% of records; the profiled hint must be close.
+	if sel := m.Hints.Selectivity; sel < 0.03 || sel > 0.3 {
+		t.Errorf("sampled selectivity = %g, want ≈ 0.1", sel)
+	}
+}
+
+// TestFacadeCompileToTAC exposes the compiled form.
+func TestFacadeCompileToTAC(t *testing.T) {
+	text, err := blackboxflow.CompileUDFsToTAC(`
+map f(ir) {
+	emit ir
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "emit $ir") {
+		t.Errorf("generated TAC = %q", text)
+	}
+	if _, err := blackboxflow.ParseUDFs(text); err != nil {
+		t.Errorf("generated TAC must reparse: %v", err)
+	}
+}
+
+// TestFacadeValueHelpers sanity-checks the re-exported constructors.
+func TestFacadeValueHelpers(t *testing.T) {
+	r := blackboxflow.Record{
+		blackboxflow.Int(1),
+		blackboxflow.Float(2.5),
+		blackboxflow.String("x"),
+		blackboxflow.Bool(true),
+		blackboxflow.Null,
+	}
+	if r.Field(0).AsInt() != 1 || r.Field(1).AsFloat() != 2.5 ||
+		r.Field(2).AsString() != "x" || !r.Field(3).AsBool() || !r.Field(4).IsNull() {
+		t.Errorf("value helpers broken: %v", r)
+	}
+}

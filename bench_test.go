@@ -1,0 +1,458 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// per table/figure; see DESIGN.md's per-experiment index and EXPERIMENTS.md
+// for paper-vs-measured numbers), plus ablation and micro benchmarks.
+//
+// Run with: go test -bench=. -benchmem
+package blackboxflow_test
+
+import (
+	"testing"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/engine"
+	"blackboxflow/internal/experiments"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/sca"
+	"blackboxflow/internal/tac"
+	"blackboxflow/internal/workloads/clickstream"
+	"blackboxflow/internal/workloads/textmine"
+	"blackboxflow/internal/workloads/tpch"
+)
+
+// ---------------------------------------------------------------- Figure 5
+
+// BenchmarkFig5Q7PlanSweep regenerates the Figure 5 series: enumerate the
+// Q7 plan space, rank by cost, execute plans at regular rank intervals.
+func BenchmarkFig5Q7PlanSweep(b *testing.B) {
+	g := &tpch.GenParams{SF: 0.3, Seed: 13}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5Q7(g, 4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalPlans), "plans")
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.NormRuntime, "worst/best-runtime")
+	}
+}
+
+func q7Plans(b *testing.B, g *tpch.GenParams) (*tpch.Query, []optimizer.RankedPlan) {
+	b.Helper()
+	q, err := tpch.BuildQ7(tpch.ModeSCA, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(q.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q, optimizer.RankAll(tree, optimizer.NewEstimator(q.Flow), 4)
+}
+
+// BenchmarkFig5Q7BestPlan executes only the cost-optimal Q7 plan.
+func BenchmarkFig5Q7BestPlan(b *testing.B) {
+	g := &tpch.GenParams{SF: 1, Seed: 42}
+	q, ranked := q7Plans(b, g)
+	e := engine.New(4)
+	for name, ds := range g.Generate(q.Flow) {
+		e.AddSource(name, ds)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(ranked[0].Phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Q7WorstPlan executes the worst-ranked Q7 plan; the ratio to
+// BenchmarkFig5Q7BestPlan is the figure's qualitative claim.
+func BenchmarkFig5Q7WorstPlan(b *testing.B) {
+	g := &tpch.GenParams{SF: 1, Seed: 42}
+	q, ranked := q7Plans(b, g)
+	e := engine.New(4)
+	for name, ds := range g.Generate(q.Flow) {
+		e.AddSource(name, ds)
+	}
+	worst := ranked[len(ranked)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(worst.Phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// BenchmarkFig6TextMiningPlanSweep regenerates the Figure 6 series.
+func BenchmarkFig6TextMiningPlanSweep(b *testing.B) {
+	g := &textmine.GenParams{Docs: 150, WordsLo: 40, WordsHi: 120,
+		GeneRate: 0.3, DrugRate: 0.4, HumanRate: 0.55, RelRate: 0.5, Seed: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6TextMining(g, 4, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.NormRuntime, "worst/best-runtime")
+	}
+}
+
+func textminePlans(b *testing.B) (map[string]record.DataSet, []optimizer.RankedPlan) {
+	b.Helper()
+	g := textmine.DefaultGen()
+	task, err := textmine.Build(textmine.ModeSCA, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(task.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Generate(task.Flow), optimizer.RankAll(tree, optimizer.NewEstimator(task.Flow), 4)
+}
+
+// BenchmarkFig6TextMiningBestPlan executes the cost-optimal stage order.
+func BenchmarkFig6TextMiningBestPlan(b *testing.B) {
+	data, ranked := textminePlans(b)
+	e := engine.New(4)
+	for name, ds := range data {
+		e.AddSource(name, ds)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(ranked[0].Phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TextMiningWorstPlan executes the worst stage order (the
+// expensive POS tagger first); paper Figure 6 reports roughly an order of
+// magnitude between the extremes.
+func BenchmarkFig6TextMiningWorstPlan(b *testing.B) {
+	data, ranked := textminePlans(b)
+	e := engine.New(4)
+	for name, ds := range data {
+		e.AddSource(name, ds)
+	}
+	worst := ranked[len(ranked)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(worst.Phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// BenchmarkFig7ClickstreamPlans regenerates the Figure 7 series: all four
+// plans of the clickstream task.
+func BenchmarkFig7ClickstreamPlans(b *testing.B) {
+	g := &clickstream.GenParams{Sessions: 1000, ClicksPerSess: 8, BuyRate: 0.12,
+		LoginRate: 0.3, Users: 150, Seed: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7Clickstream(g, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ImplementedRank), "implemented-rank")
+		b.ReportMetric(res.BestOverImplemented, "best/implemented")
+	}
+}
+
+// BenchmarkFig7ClickstreamBestPlan executes the join-below-both-reduces
+// plan of Figure 4(b).
+func BenchmarkFig7ClickstreamBestPlan(b *testing.B) {
+	g := clickstream.DefaultGen()
+	task, err := clickstream.Build(clickstream.ModeManual, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(task.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranked := optimizer.RankAll(tree, optimizer.NewEstimator(task.Flow), 4)
+	e := engine.New(4)
+	for name, ds := range g.Generate(task.Flow) {
+		e.AddSource(name, ds)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(ranked[0].Phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----------------------------------------------------------------- Table 1
+
+// BenchmarkTable1SCAvsManual regenerates Table 1: enumerated orders with
+// manual annotations vs. SCA-derived properties for all four tasks.
+func BenchmarkTable1SCAvsManual(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.SCA > row.Manual {
+				b.Fatalf("%s: SCA %d > manual %d (conservatism violated)", row.Task, row.SCA, row.Manual)
+			}
+		}
+	}
+}
+
+// ----------------------------------------- Section 7.3 "Enumeration Time"
+
+// BenchmarkEnumerationTimeQ7 measures plan enumeration for the largest
+// space (the paper's naive implementation stays under 1654 ms).
+func BenchmarkEnumerationTimeQ7(b *testing.B) {
+	q, err := tpch.BuildQ7(tpch.ModeSCA, tpch.DefaultGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(q.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alts := optimizer.NewEnumerator().Enumerate(tree)
+		if len(alts) < 100 {
+			b.Fatal("plan space collapsed")
+		}
+	}
+}
+
+// BenchmarkEnumerationTimeAllTasks enumerates all four tasks.
+func BenchmarkEnumerationTimeAllTasks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EnumTimes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing tasks")
+		}
+	}
+}
+
+// --------------------------------------------- Section 7.3 (Q15 strategies)
+
+// BenchmarkQ15PhysicalStrategies regenerates the Q15 physical-plan
+// discussion: costing all three orders with strategy selection.
+func BenchmarkQ15PhysicalStrategies(b *testing.B) {
+	g := tpch.DefaultGen()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Q15Strategies(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// -------------------------------------------------------------- Ablations
+
+// BenchmarkAblationNoRotations disables the Lemma 1 join rotations and
+// reports the shrunken Q7 plan space.
+func BenchmarkAblationNoRotations(b *testing.B) {
+	q, err := tpch.BuildQ7(tpch.ModeSCA, tpch.DefaultGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(q.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &optimizer.Enumerator{Rules: &optimizer.RuleSet{UnaryUnary: true, UnaryBinary: true}}
+		alts := e.Enumerate(tree)
+		b.ReportMetric(float64(len(alts)), "plans")
+	}
+}
+
+// BenchmarkAblationNoInterestingProps disables partitioning-property reuse
+// in the physical optimizer and reports the best Q15 cost (never better
+// than with reuse).
+func BenchmarkAblationNoInterestingProps(b *testing.B) {
+	q, err := tpch.BuildQ15(tpch.ModeSCA, tpch.DefaultGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(q.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := optimizer.NewEstimator(q.Flow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		po := optimizer.NewPhysicalOptimizer(est, 8)
+		po.UseInterestingProps = false
+		plan := po.Optimize(tree)
+		b.ReportMetric(plan.Cost.Total(po.Weights), "cost")
+	}
+}
+
+// BenchmarkAblationNoSubplanSharing costs every Q7 alternative with a
+// fresh physical memo per plan — the naive two-phase approach the paper's
+// prototype used; compare against BenchmarkFig5Q7PlanSweep's integrated
+// (shared-memo) optimization.
+func BenchmarkAblationNoSubplanSharing(b *testing.B) {
+	q, err := tpch.BuildQ7(tpch.ModeSCA, tpch.DefaultGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(q.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alts := optimizer.NewEnumerator().Enumerate(tree)
+	est := optimizer.NewEstimator(q.Flow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range alts {
+			po := optimizer.NewPhysicalOptimizer(est, 4)
+			po.ShareSubplans = false
+			po.Optimize(a)
+		}
+	}
+}
+
+// BenchmarkIntegratedOptimization costs every Q7 alternative with the
+// shared sub-plan memo (Section 6's integration of physical optimization
+// with enumeration).
+func BenchmarkIntegratedOptimization(b *testing.B) {
+	q, err := tpch.BuildQ7(tpch.ModeSCA, tpch.DefaultGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(q.Flow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alts := optimizer.NewEnumerator().Enumerate(tree)
+	est := optimizer.NewEstimator(q.Flow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		po := optimizer.NewPhysicalOptimizer(est, 4)
+		for _, a := range alts {
+			po.Optimize(a)
+		}
+	}
+}
+
+// BenchmarkAblationSCAOverhead measures the full static-code-analysis pass
+// over all Q7 UDFs (the paper: "the overhead of performing the static code
+// analysis is virtually zero").
+func BenchmarkAblationSCAOverhead(b *testing.B) {
+	q, err := tpch.BuildQ7(tpch.ModeManual, tpch.DefaultGen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Flow.DeriveEffects(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Micro
+
+// BenchmarkInterpreterMapCall measures one interpreted Map UDF invocation
+// (the Section 3 f1).
+func BenchmarkInterpreterMapCall(b *testing.B) {
+	prog := tac.MustParse(`
+func map f1($ir) {
+	$b := getfield $ir 1
+	$or := copyrec $ir
+	if $b >= 0 goto L
+	$b := neg $b
+	setfield $or 1 $b
+L: emit $or
+}
+`)
+	f, _ := prog.Lookup("f1")
+	ip := tac.NewInterp()
+	in := record.Record{record.Int(2), record.Int(-3)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.InvokeMap(f, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSCAAnalyze measures one static analysis of a UDF.
+func BenchmarkSCAAnalyze(b *testing.B) {
+	prog := tac.MustParse(`
+func map f3($ir) {
+	$a := getfield $ir 0
+	$b := getfield $ir 1
+	$sum := $a + $b
+	$or := copyrec $ir
+	setfield $or 0 $sum
+	emit $or
+}
+`)
+	f, _ := prog.Lookup("f3")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sca.Analyze(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineShuffle measures a 4-way hash repartition plus sort-based
+// grouping of 10k records (the dominant physical operator cost in the
+// relational workloads).
+func BenchmarkEngineShuffle(b *testing.B) {
+	prog := tac.MustParse(`
+func reduce first($g) {
+	$r := groupget $g 0
+	emit $r
+}
+`)
+	udf, _ := prog.Lookup("first")
+	f := dataflow.NewFlow()
+	src := f.Source("S", []string{"k", "v"}, dataflow.Hints{Records: 10000, AvgWidthBytes: 18})
+	red := f.Reduce("R", udf, []string{"k"}, src, dataflow.Hints{KeyCardinality: 64})
+	f.SetSink("out", red)
+	if err := f.DeriveEffects(false); err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var data record.DataSet
+	for i := 0; i < 10000; i++ {
+		data = append(data, record.Record{record.Int(int64(i % 64)), record.Int(int64(i))})
+	}
+	e := engine.New(4)
+	e.AddSource("S", data)
+	plan := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(f), 4).Optimize(tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

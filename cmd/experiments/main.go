@@ -1,0 +1,103 @@
+// Command experiments reproduces the paper's evaluation artifacts: the
+// rank-sweep series of Figures 5–7, the manual-vs-SCA comparison of
+// Table 1, the enumeration-time measurement, and the Q15 physical-strategy
+// narrative of Section 7.3.
+//
+// Usage:
+//
+//	experiments -exp all|fig5|fig6|fig7|table1|enumtime|q15 [-sf N] [-dop N] [-picks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blackboxflow/internal/experiments"
+	"blackboxflow/internal/workloads/clickstream"
+	"blackboxflow/internal/workloads/textmine"
+	"blackboxflow/internal/workloads/tpch"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, table1, enumtime, q15")
+	sf := flag.Float64("sf", 1.0, "TPC-H scale factor")
+	dop := flag.Int("dop", 4, "degree of parallelism")
+	picks := flag.Int("picks", 10, "plans executed per rank sweep")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig5", func() error {
+		g := tpch.DefaultGen()
+		g.SF = *sf
+		res, err := experiments.Fig5Q7(g, *dop, *picks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("fig6", func() error {
+		res, err := experiments.Fig6TextMining(textmine.DefaultGen(), *dop, *picks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("fig7", func() error {
+		res, err := experiments.Fig7Clickstream(clickstream.DefaultGen(), *dop)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	})
+
+	run("table1", func() error {
+		res, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: enumerated orders, manual annotation vs. SCA")
+		fmt.Println(res)
+		return nil
+	})
+
+	run("enumtime", func() error {
+		rows, err := experiments.EnumTimes()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Enumeration time (paper: < 1654 ms for all tasks)")
+		for _, r := range rows {
+			fmt.Printf("%-14s  %6d plans  %12v\n", r.Task, r.Plans, r.Duration.Round(time.Microsecond))
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("q15", func() error {
+		g := tpch.DefaultGen()
+		g.SF = *sf
+		s, err := experiments.Q15Strategies(g, *dop)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Q15 physical strategies per operator order (Section 7.3):")
+		fmt.Println(s)
+		return nil
+	})
+}

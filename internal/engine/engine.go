@@ -1,0 +1,600 @@
+// Package engine executes physical plans produced by the optimizer on a
+// shared-nothing, multi-goroutine runtime — the repository's substitute for
+// the paper's Nephele execution engine (see DESIGN.md).
+//
+// Each operator runs with a configurable degree of parallelism: the data of
+// every edge is split into DOP partitions, shipping strategies move records
+// between partitions over channels (hash partitioning, broadcast, or local
+// forwarding), and local strategies (hash join, sort-merge join, sort/hash
+// grouping, nested loops) process each partition in its own goroutine. The
+// engine records per-operator statistics — records, shipped bytes, UDF
+// calls — so experiments can relate estimated costs to observed work.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/tac"
+)
+
+// Partitioned is a data set split into DOP partitions.
+type Partitioned [][]record.Record
+
+// Records counts all records across partitions.
+func (p Partitioned) Records() int {
+	n := 0
+	for _, part := range p {
+		n += len(part)
+	}
+	return n
+}
+
+// Flatten merges all partitions into a single data set.
+func (p Partitioned) Flatten() record.DataSet {
+	var out record.DataSet
+	for _, part := range p {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// OpStats are the runtime statistics of one operator execution.
+type OpStats struct {
+	Name         string
+	InRecords    int
+	OutRecords   int
+	ShippedBytes int // bytes moved by non-forward shipping
+	UDFCalls     int
+	ShipTime     time.Duration // wall time spent shipping inputs
+	LocalTime    time.Duration // wall time spent in the local strategy
+}
+
+// RunStats aggregates statistics of a plan execution.
+type RunStats struct {
+	PerOp []OpStats
+}
+
+// TotalShippedBytes sums network traffic over all operators.
+func (r *RunStats) TotalShippedBytes() int {
+	n := 0
+	for _, s := range r.PerOp {
+		n += s.ShippedBytes
+	}
+	return n
+}
+
+// TotalUDFCalls sums UDF invocations over all operators.
+func (r *RunStats) TotalUDFCalls() int {
+	n := 0
+	for _, s := range r.PerOp {
+		n += s.UDFCalls
+	}
+	return n
+}
+
+// String renders a per-operator summary.
+func (r *RunStats) String() string {
+	var b []byte
+	for _, s := range r.PerOp {
+		b = fmt.Appendf(b, "%-24s in=%-9d out=%-9d shipped=%-11d calls=%-9d ship=%-12v local=%v\n",
+			s.Name, s.InRecords, s.OutRecords, s.ShippedBytes, s.UDFCalls, s.ShipTime, s.LocalTime)
+	}
+	return string(b)
+}
+
+// Engine executes physical plans.
+type Engine struct {
+	// DOP is the degree of parallelism (number of partitions/goroutines).
+	DOP int
+	// Sources maps source operator names to their data.
+	Sources map[string]record.DataSet
+
+	// NetBandwidth simulates a cluster interconnect: when positive, every
+	// non-forward shipping step takes at least shippedBytes/NetBandwidth
+	// seconds of wall time. The paper's evaluation ran on 1 GbE, where
+	// shuffles dominate plan runtimes; on a single machine, channel-based
+	// shuffles are far faster relative to UDF work, so throttling restores
+	// the testbed's cost balance (see DESIGN.md). Zero disables throttling.
+	NetBandwidth float64
+
+	interp *tac.Interp
+}
+
+// New returns an engine with the given parallelism and no network
+// throttling.
+func New(dop int) *Engine {
+	if dop < 1 {
+		dop = 1
+	}
+	return &Engine{DOP: dop, Sources: map[string]record.DataSet{}, interp: tac.NewInterp()}
+}
+
+// WithNetBandwidth sets the simulated interconnect bandwidth in bytes per
+// second and returns the engine.
+func (e *Engine) WithNetBandwidth(bytesPerSec float64) *Engine {
+	e.NetBandwidth = bytesPerSec
+	return e
+}
+
+// AddSource registers the data of a named source operator.
+func (e *Engine) AddSource(name string, data record.DataSet) {
+	e.Sources[name] = data
+}
+
+// Run executes a physical plan and returns the sink's output and runtime
+// statistics.
+func (e *Engine) Run(plan *optimizer.PhysPlan) (record.DataSet, *RunStats, error) {
+	stats := &RunStats{}
+	out, err := e.exec(plan, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Flatten(), stats, nil
+}
+
+func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+	// Execute inputs first (post-order).
+	inputs := make([]Partitioned, len(p.Inputs))
+	for i, in := range p.Inputs {
+		d, err := e.exec(in, stats)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = d
+	}
+
+	op := p.Op
+	st := OpStats{Name: op.Name}
+	for _, in := range inputs {
+		st.InRecords += in.Records()
+	}
+
+	// Ship each input according to the plan's strategy.
+	shipStart := time.Now()
+	for i := range inputs {
+		if i >= len(p.Ship) {
+			break
+		}
+		var keys []int
+		if i < len(op.Keys) {
+			keys = op.Keys[i]
+		}
+		shipped, bytes := e.ship(inputs[i], p.Ship[i], keys)
+		inputs[i] = shipped
+		st.ShippedBytes += bytes
+	}
+	if e.NetBandwidth > 0 && st.ShippedBytes > 0 {
+		want := time.Duration(float64(st.ShippedBytes) / e.NetBandwidth * float64(time.Second))
+		if elapsed := time.Since(shipStart); want > elapsed {
+			time.Sleep(want - elapsed)
+		}
+	}
+	st.ShipTime = time.Since(shipStart)
+
+	localStart := time.Now()
+	out, calls, err := e.local(p, inputs)
+	if err != nil {
+		return nil, err
+	}
+	st.LocalTime = time.Since(localStart)
+	st.UDFCalls = calls
+	st.OutRecords = out.Records()
+	stats.PerOp = append(stats.PerOp, st)
+	return out, nil
+}
+
+// ship moves a partitioned data set according to the shipping strategy,
+// returning the reshaped data and the number of bytes that crossed the
+// (simulated) network. Partitioning and broadcasting move records through
+// per-target channels with one sender goroutine per source partition,
+// mirroring a shuffle.
+func (e *Engine) ship(in Partitioned, s optimizer.Shipping, keys []int) (Partitioned, int) {
+	switch s {
+	case optimizer.ShipForward:
+		return in, 0
+	case optimizer.ShipPartition:
+		return e.shuffle(in, keys)
+	case optimizer.ShipBroadcast:
+		bytes := 0
+		full := in.Flatten()
+		size := full.TotalSize()
+		out := make(Partitioned, e.DOP)
+		for i := range out {
+			out[i] = full
+			bytes += size
+		}
+		return out, bytes
+	default:
+		return in, 0
+	}
+}
+
+// shuffle hash-partitions records by the key fields using goroutines and
+// channels (one sender per source partition, one collector per target).
+func (e *Engine) shuffle(in Partitioned, keys []int) (Partitioned, int) {
+	dop := e.DOP
+	chans := make([]chan record.Record, dop)
+	for i := range chans {
+		chans[i] = make(chan record.Record, 256)
+	}
+	var senders sync.WaitGroup
+	var bytes int64
+	var bytesMu sync.Mutex
+	for _, part := range in {
+		part := part
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			local := 0
+			for _, r := range part {
+				t := int(r.Hash(keys) % uint64(dop))
+				local += r.EncodedSize()
+				chans[t] <- r
+			}
+			bytesMu.Lock()
+			bytes += int64(local)
+			bytesMu.Unlock()
+		}()
+	}
+	go func() {
+		senders.Wait()
+		for _, c := range chans {
+			close(c)
+		}
+	}()
+	out := make(Partitioned, dop)
+	var collectors sync.WaitGroup
+	for i := range chans {
+		i := i
+		collectors.Add(1)
+		go func() {
+			defer collectors.Done()
+			for r := range chans[i] {
+				out[i] = append(out[i], r)
+			}
+		}()
+	}
+	collectors.Wait()
+	return out, int(bytes)
+}
+
+// local runs the operator's local strategy on every partition in parallel.
+func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned, int, error) {
+	op := p.Op
+	switch op.Kind {
+	case dataflow.KindSource:
+		data, ok := e.Sources[op.Name]
+		if !ok {
+			return nil, 0, fmt.Errorf("engine: no data registered for source %q", op.Name)
+		}
+		return e.scatter(data), 0, nil
+
+	case dataflow.KindSink:
+		return inputs[0], 0, nil
+
+	case dataflow.KindMap:
+		return e.perPartition(inputs[0], func(part []record.Record) ([]record.Record, int, error) {
+			var out []record.Record
+			calls := 0
+			for _, r := range part {
+				res, err := e.interp.InvokeMap(op.UDF, r)
+				if err != nil {
+					return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
+				}
+				calls++
+				out = append(out, res...)
+			}
+			return out, calls, nil
+		})
+
+	case dataflow.KindReduce:
+		keys := op.Keys[0]
+		return e.perPartition(inputs[0], func(part []record.Record) ([]record.Record, int, error) {
+			groups := groupRecords(part, keys, p.Local == optimizer.LocalSortGroup)
+			var out []record.Record
+			calls := 0
+			for _, g := range groups {
+				res, err := e.interp.InvokeReduce(op.UDF, g)
+				if err != nil {
+					return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
+				}
+				calls++
+				out = append(out, res...)
+			}
+			return out, calls, nil
+		})
+
+	case dataflow.KindMatch:
+		return e.perPartition2(inputs[0], inputs[1], func(l, r []record.Record) ([]record.Record, int, error) {
+			return e.joinPartition(p, l, r)
+		})
+
+	case dataflow.KindCross:
+		return e.perPartition2(inputs[0], inputs[1], func(l, r []record.Record) ([]record.Record, int, error) {
+			var out []record.Record
+			calls := 0
+			for _, lr := range l {
+				for _, rr := range r {
+					res, err := e.interp.InvokeBinary(op.UDF, lr, rr)
+					if err != nil {
+						return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
+					}
+					calls++
+					out = append(out, res...)
+				}
+			}
+			return out, calls, nil
+		})
+
+	case dataflow.KindCoGroup:
+		lKeys, rKeys := op.Keys[0], op.Keys[1]
+		return e.perPartition2(inputs[0], inputs[1], func(l, r []record.Record) ([]record.Record, int, error) {
+			return e.coGroupPartition(op, l, r, lKeys, rKeys)
+		})
+
+	default:
+		return nil, 0, fmt.Errorf("engine: cannot execute %s", op.Kind)
+	}
+}
+
+// scatter round-robins source data across partitions.
+func (e *Engine) scatter(data record.DataSet) Partitioned {
+	out := make(Partitioned, e.DOP)
+	for i, r := range data {
+		t := i % e.DOP
+		out[t] = append(out[t], r)
+	}
+	return out
+}
+
+// perPartition applies fn to every partition concurrently.
+func (e *Engine) perPartition(in Partitioned, fn func([]record.Record) ([]record.Record, int, error)) (Partitioned, int, error) {
+	out := make(Partitioned, len(in))
+	calls := make([]int, len(in))
+	errs := make([]error, len(in))
+	var wg sync.WaitGroup
+	for i := range in {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], calls[i], errs[i] = fn(in[i])
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := range in {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		total += calls[i]
+	}
+	return out, total, nil
+}
+
+// perPartition2 applies fn pairwise to the partitions of two inputs.
+func (e *Engine) perPartition2(l, r Partitioned, fn func(l, r []record.Record) ([]record.Record, int, error)) (Partitioned, int, error) {
+	n := len(l)
+	if len(r) > n {
+		n = len(r)
+	}
+	out := make(Partitioned, n)
+	calls := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lp, rp []record.Record
+			if i < len(l) {
+				lp = l[i]
+			}
+			if i < len(r) {
+				rp = r[i]
+			}
+			out[i], calls[i], errs[i] = fn(lp, rp)
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		total += calls[i]
+	}
+	return out, total, nil
+}
+
+// joinPartition executes a Match on one partition pair with the plan's
+// local strategy.
+func (e *Engine) joinPartition(p *optimizer.PhysPlan, l, r []record.Record) ([]record.Record, int, error) {
+	op := p.Op
+	lKeys, rKeys := op.Keys[0], op.Keys[1]
+	var out []record.Record
+	calls := 0
+	emit := func(lr, rr record.Record) error {
+		res, err := e.interp.InvokeBinary(op.UDF, lr, rr)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", op.Name, err)
+		}
+		calls++
+		out = append(out, res...)
+		return nil
+	}
+
+	switch p.Local {
+	case optimizer.LocalMergeJoin:
+		ls := append([]record.Record(nil), l...)
+		rs := append([]record.Record(nil), r...)
+		record.DataSet(ls).SortBy(lKeys)
+		record.DataSet(rs).SortBy(rKeys)
+		i, j := 0, 0
+		for i < len(ls) && j < len(rs) {
+			c := ls[i].Project(lKeys).Compare(rs[j].Project(rKeys))
+			switch {
+			case c < 0:
+				i++
+			case c > 0:
+				j++
+			default:
+				// Emit the cross product of the equal-key runs.
+				iEnd := i
+				for iEnd < len(ls) && ls[iEnd].Project(lKeys).Compare(ls[i].Project(lKeys)) == 0 {
+					iEnd++
+				}
+				jEnd := j
+				for jEnd < len(rs) && rs[jEnd].Project(rKeys).Compare(rs[j].Project(rKeys)) == 0 {
+					jEnd++
+				}
+				for a := i; a < iEnd; a++ {
+					for b := j; b < jEnd; b++ {
+						if err := emit(ls[a], rs[b]); err != nil {
+							return nil, 0, err
+						}
+					}
+				}
+				i, j = iEnd, jEnd
+			}
+		}
+	default: // LocalHashJoin
+		buildSide, probeSide := p.BuildSide, 1-p.BuildSide
+		parts := [2][]record.Record{l, r}
+		keys := [2][]int{lKeys, rKeys}
+		table := map[uint64][]record.Record{}
+		for _, br := range parts[buildSide] {
+			h := br.Hash(keys[buildSide])
+			table[h] = append(table[h], br)
+		}
+		for _, pr := range parts[probeSide] {
+			h := pr.Hash(keys[probeSide])
+			for _, br := range table[h] {
+				if !br.Project(keys[buildSide]).Equal(pr.Project(keys[probeSide])) {
+					continue
+				}
+				lr, rr := br, pr
+				if buildSide == 1 {
+					lr, rr = pr, br
+				}
+				if err := emit(lr, rr); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	return out, calls, nil
+}
+
+// coGroupPartition executes a CoGroup on one partition pair: both sides are
+// grouped by their keys and the UDF is called once per key in the combined
+// key domain.
+func (e *Engine) coGroupPartition(op *dataflow.Operator, l, r []record.Record, lKeys, rKeys []int) ([]record.Record, int, error) {
+	lGroups := groupRecords(l, lKeys, true)
+	rGroups := groupRecords(r, rKeys, true)
+	type pair struct{ l, r []record.Record }
+	byKey := map[string]*pair{}
+	var order []string
+	keyOf := func(rec record.Record, keys []int) string {
+		return fmt.Sprint(rec.Project(keys))
+	}
+	for _, g := range lGroups {
+		k := keyOf(g[0], lKeys)
+		byKey[k] = &pair{l: g}
+		order = append(order, k)
+	}
+	for _, g := range rGroups {
+		k := keyOf(g[0], rKeys)
+		if p, ok := byKey[k]; ok {
+			p.r = g
+		} else {
+			byKey[k] = &pair{r: g}
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+	var out []record.Record
+	calls := 0
+	for _, k := range order {
+		p := byKey[k]
+		res, err := e.interp.InvokeCoGroup(op.UDF, p.l, p.r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
+		}
+		calls++
+		out = append(out, res...)
+	}
+	return out, calls, nil
+}
+
+// groupRecords groups a partition by key fields, either by sorting (stable,
+// deterministic order) or via a hash map with deterministic iteration. Key
+// projections are computed once per record (decorate-sort-undecorate), not
+// per comparison.
+func groupRecords(part []record.Record, keys []int, sortBased bool) [][]record.Record {
+	if len(part) == 0 {
+		return nil
+	}
+	type keyed struct {
+		key record.Record
+		rec record.Record
+	}
+	ks := make([]keyed, len(part))
+	for i, r := range part {
+		ks[i] = keyed{key: r.Project(keys), rec: r}
+	}
+	if sortBased {
+		sort.SliceStable(ks, func(i, j int) bool { return ks[i].key.Compare(ks[j].key) < 0 })
+		var groups [][]record.Record
+		start := 0
+		for i := 1; i <= len(ks); i++ {
+			if i == len(ks) || ks[i].key.Compare(ks[start].key) != 0 {
+				g := make([]record.Record, 0, i-start)
+				for _, k := range ks[start:i] {
+					g = append(g, k.rec)
+				}
+				groups = append(groups, g)
+				start = i
+			}
+		}
+		return groups
+	}
+	m := map[uint64][]int{}
+	var hashes []uint64
+	for i, k := range ks {
+		h := k.key.Hash(nil)
+		if _, ok := m[h]; !ok {
+			hashes = append(hashes, h)
+		}
+		m[h] = append(m[h], i)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	var groups [][]record.Record
+	for _, h := range hashes {
+		// Within a hash bucket, split by true key equality (collision
+		// safety).
+		idxs := m[h]
+		for len(idxs) > 0 {
+			head := ks[idxs[0]].key
+			var g []record.Record
+			var rest []int
+			for _, i := range idxs {
+				if ks[i].key.Compare(head) == 0 {
+					g = append(g, ks[i].rec)
+				} else {
+					rest = append(rest, i)
+				}
+			}
+			groups = append(groups, g)
+			idxs = rest
+		}
+	}
+	return groups
+}

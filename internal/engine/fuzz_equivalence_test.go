@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/tac"
+)
+
+// This file implements a randomized end-to-end soundness check of the whole
+// system: generate random Map/Reduce pipelines over random UDFs, run the
+// static analysis, enumerate every reordering the optimizer believes valid,
+// execute all of them, and require bag-equal outputs. It is the empirical
+// counterpart of the paper's safety argument (Section 5): conservative
+// property estimation must never license a result-changing reordering.
+
+// genUDF builds a random Map UDF over `width` fields. Shapes: filters,
+// field rewrites, field moves, and multi-emitters.
+func genUDF(rng *rand.Rand, name string, width int) string {
+	f1 := rng.Intn(width)
+	f2 := rng.Intn(width)
+	c := rng.Intn(7) - 3
+	switch rng.Intn(5) {
+	case 0: // filter on f1
+		return fmt.Sprintf(`
+func map %s($ir) {
+	$a := getfield $ir %d
+	if $a < %d goto S
+	emit $ir
+S: return
+}`, name, f1, c)
+	case 1: // rewrite f1 from f1 and f2
+		return fmt.Sprintf(`
+func map %s($ir) {
+	$a := getfield $ir %d
+	$b := getfield $ir %d
+	$s := $a + $b
+	$or := copyrec $ir
+	setfield $or %d $s
+	emit $or
+}`, name, f1, f2, f1)
+	case 2: // conditional rewrite (f1's sign decides)
+		return fmt.Sprintf(`
+func map %s($ir) {
+	$a := getfield $ir %d
+	$or := copyrec $ir
+	if $a >= 0 goto E
+	$n := neg $a
+	setfield $or %d $n
+E: emit $or
+}`, name, f1, f1)
+	case 3: // move f2 into f1 (reads f2, writes f1)
+		return fmt.Sprintf(`
+func map %s($ir) {
+	$b := getfield $ir %d
+	$or := copyrec $ir
+	$d := $b * 2
+	setfield $or %d $d
+	emit $or
+}`, name, f2, f1)
+	default: // duplicate rows with a marker in f1
+		return fmt.Sprintf(`
+func map %s($ir) {
+	emit $ir
+	$or := copyrec $ir
+	setfield $or %d %d
+	emit $or
+}`, name, f1, c)
+	}
+}
+
+// TestRandomPipelinesAllPlansEquivalent generates random flows and checks
+// that every enumerated alternative computes the same bag.
+func TestRandomPipelinesAllPlansEquivalent(t *testing.T) {
+	const (
+		trials = 60
+		width  = 4
+		nOps   = 5
+		nRows  = 120
+	)
+	totalPlans := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		var src string
+		names := make([]string, nOps)
+		for i := range names {
+			names[i] = fmt.Sprintf("u%d", i)
+			src += genUDF(rng, names[i], width)
+		}
+		prog, err := tac.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+
+		f := dataflow.NewFlow()
+		attrs := make([]string, width)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		node := f.Source("S", attrs, dataflow.Hints{Records: nRows, AvgWidthBytes: float64(9 * width)})
+		for _, n := range names {
+			fn, _ := prog.Lookup(n)
+			node = f.Map(n, fn, node, dataflow.Hints{})
+		}
+		f.SetSink("out", node)
+		if err := f.DeriveEffects(false); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		tree, err := optimizer.FromFlow(f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		alts := optimizer.NewEnumerator().Enumerate(tree)
+		totalPlans += len(alts)
+
+		data := make(record.DataSet, nRows)
+		for i := range data {
+			r := make(record.Record, width)
+			for j := range r {
+				r[j] = record.Int(int64(rng.Intn(13) - 6))
+			}
+			data[i] = r
+		}
+		e := New(3)
+		e.AddSource("S", data)
+		est := optimizer.NewEstimator(f)
+		po := optimizer.NewPhysicalOptimizer(est, 3)
+
+		var ref record.DataSet
+		for i, a := range alts {
+			out, _, err := e.Run(po.Optimize(a))
+			if err != nil {
+				t.Fatalf("trial %d plan %s: %v", trial, a, err)
+			}
+			if i == 0 {
+				ref = out
+				continue
+			}
+			if !out.Equal(ref) {
+				t.Fatalf("trial %d: plan %s output differs from %s\nUDFs:\n%s",
+					trial, a, alts[0], src)
+			}
+		}
+	}
+	if totalPlans <= trials {
+		t.Errorf("suspiciously few plans across trials: %d", totalPlans)
+	}
+}
+
+// TestRandomReducePipelinesEquivalent adds a Reduce with a random key to
+// random Map pipelines, exercising the KGP machinery end to end.
+func TestRandomReducePipelinesEquivalent(t *testing.T) {
+	const (
+		trials = 40
+		width  = 4
+		nMaps  = 3
+		nRows  = 90
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+
+		var src string
+		names := make([]string, nMaps)
+		for i := range names {
+			names[i] = fmt.Sprintf("m%d", i)
+			src += genUDF(rng, names[i], width)
+		}
+		keyField := rng.Intn(width)
+		aggField := rng.Intn(width)
+		src += fmt.Sprintf(`
+func reduce agg($g) {
+	$first := groupget $g 0
+	$or := newrec
+	$k := getfield $first %d
+	setfield $or %d $k
+	$s := agg sum $g %d
+	setfield $or %d $s
+	emit $or
+}`, keyField, keyField, aggField, width)
+
+		prog, err := tac.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+
+		f := dataflow.NewFlow()
+		attrs := make([]string, width+1)
+		for i := 0; i <= width; i++ {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		node := f.Source("S", attrs[:width], dataflow.Hints{Records: nRows, AvgWidthBytes: float64(9 * width)})
+		f.DeclareAttr(attrs[width])
+		for _, n := range names {
+			fn, _ := prog.Lookup(n)
+			node = f.Map(n, fn, node, dataflow.Hints{})
+		}
+		aggFn, _ := prog.Lookup("agg")
+		node = f.Reduce("agg", aggFn, []string{attrs[keyField]}, node, dataflow.Hints{KeyCardinality: 13})
+		f.SetSink("out", node)
+		if err := f.DeriveEffects(false); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		tree, err := optimizer.FromFlow(f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		alts := optimizer.NewEnumerator().Enumerate(tree)
+
+		data := make(record.DataSet, nRows)
+		for i := range data {
+			r := make(record.Record, width)
+			for j := range r {
+				r[j] = record.Int(int64(rng.Intn(9) - 4))
+			}
+			data[i] = r
+		}
+		e := New(3)
+		e.AddSource("S", data)
+		est := optimizer.NewEstimator(f)
+		po := optimizer.NewPhysicalOptimizer(est, 3)
+
+		var ref record.DataSet
+		for i, a := range alts {
+			out, _, err := e.Run(po.Optimize(a))
+			if err != nil {
+				t.Fatalf("trial %d plan %s: %v", trial, a, err)
+			}
+			if i == 0 {
+				ref = out
+				continue
+			}
+			if !out.Equal(ref) {
+				t.Fatalf("trial %d: plan %s output differs from %s\nUDFs:\n%s",
+					trial, a, alts[0], src)
+			}
+		}
+	}
+}

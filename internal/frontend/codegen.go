@@ -1,0 +1,414 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// codegen lowers one FuncDecl to textual three-address code, which is then
+// parsed (and validated) by package tac.
+type codegen struct {
+	lines   []string
+	pending []string // labels waiting to attach to the next instruction
+	tmpN    int
+	labN    int
+	params  map[string]bool
+}
+
+func (g *codegen) tmp() string {
+	g.tmpN++
+	return fmt.Sprintf("$t%d", g.tmpN)
+}
+
+func (g *codegen) label(hint string) string {
+	g.labN++
+	return fmt.Sprintf("%s%d", hint, g.labN)
+}
+
+// emit writes one instruction, attaching pending labels. Extra pending
+// labels become goto-trampolines onto the first.
+func (g *codegen) emit(format string, args ...any) {
+	instr := fmt.Sprintf(format, args...)
+	if len(g.pending) > 0 {
+		last := g.pending[len(g.pending)-1]
+		for _, l := range g.pending[:len(g.pending)-1] {
+			g.lines = append(g.lines, fmt.Sprintf("%s: goto %s", l, last))
+		}
+		instr = last + ": " + instr
+		g.pending = g.pending[:0]
+	}
+	g.lines = append(g.lines, "\t"+instr)
+}
+
+// place marks a label position; it binds to the next emitted instruction.
+func (g *codegen) place(label string) { g.pending = append(g.pending, label) }
+
+// compileFunc lowers a single UDF.
+func compileFunc(fn *FuncDecl) (string, error) {
+	kind := fn.Kind
+	switch kind {
+	case "cross", "match":
+		kind = "binary"
+	}
+	wantParams := 1
+	if kind == "binary" || kind == "cogroup" {
+		wantParams = 2
+	}
+	if len(fn.Params) != wantParams {
+		return "", fmt.Errorf("line %d: %s function %s needs %d parameter(s), has %d",
+			fn.Line, fn.Kind, fn.Name, wantParams, len(fn.Params))
+	}
+
+	g := &codegen{params: map[string]bool{}}
+	for _, p := range fn.Params {
+		g.params[p] = true
+	}
+	if err := g.stmts(fn.Body); err != nil {
+		return "", fmt.Errorf("func %s: %w", fn.Name, err)
+	}
+	g.emit("return")
+
+	var b strings.Builder
+	dollars := make([]string, len(fn.Params))
+	for i, p := range fn.Params {
+		dollars[i] = "$" + p
+	}
+	fmt.Fprintf(&b, "func %s %s(%s) {\n", kind, fn.Name, strings.Join(dollars, ", "))
+	for _, l := range g.lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func (g *codegen) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		return g.assign(st)
+	case *SetFieldStmt:
+		if st.Expr == nil {
+			g.emit("setfield $%s %d null", st.Rec, st.Index)
+			return nil
+		}
+		op, err := g.expr(st.Expr)
+		if err != nil {
+			return err
+		}
+		g.emit("setfield $%s %d %s", st.Rec, st.Index, op)
+		return nil
+	case *EmitStmt:
+		g.emit("emit $%s", st.Rec)
+		return nil
+	case *ReturnStmt:
+		g.emit("return")
+		return nil
+	case *IfStmt:
+		lThen := g.label("T")
+		lElse := g.label("E")
+		lEnd := lElse
+		if len(st.Else) > 0 {
+			lEnd = g.label("D")
+		}
+		if err := g.cond(st.Cond, lThen, lElse); err != nil {
+			return err
+		}
+		g.place(lThen)
+		if err := g.stmts(st.Then); err != nil {
+			return err
+		}
+		if len(st.Else) > 0 {
+			g.emit("goto %s", lEnd)
+			g.place(lElse)
+			if err := g.stmts(st.Else); err != nil {
+				return err
+			}
+		}
+		g.place(lEnd)
+		return nil
+	case *WhileStmt:
+		lCond := g.label("W")
+		lBody := g.label("B")
+		lEnd := g.label("X")
+		g.place(lCond)
+		if err := g.cond(st.Cond, lBody, lEnd); err != nil {
+			return err
+		}
+		g.place(lBody)
+		if err := g.stmts(st.Body); err != nil {
+			return err
+		}
+		g.emit("goto %s", lCond)
+		g.place(lEnd)
+		return nil
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+}
+
+// assign lowers `name := expr`, binding record-producing expressions
+// directly to the target variable.
+func (g *codegen) assign(st *AssignStmt) error {
+	if g.params[st.Name] {
+		return fmt.Errorf("line %d: cannot assign to parameter %q", st.Line, st.Name)
+	}
+	dst := "$" + st.Name
+	if call, ok := st.Expr.(*CallExpr); ok {
+		switch call.Fn {
+		case "copy":
+			if len(call.Args) != 1 {
+				return fmt.Errorf("line %d: copy() takes one record", call.Line)
+			}
+			rec, err := g.recordArg(call.Args[0], call.Line)
+			if err != nil {
+				return err
+			}
+			g.emit("%s := copyrec %s", dst, rec)
+			return nil
+		case "concat":
+			if len(call.Args) != 2 {
+				return fmt.Errorf("line %d: concat() takes two records", call.Line)
+			}
+			a, err := g.recordArg(call.Args[0], call.Line)
+			if err != nil {
+				return err
+			}
+			b, err := g.recordArg(call.Args[1], call.Line)
+			if err != nil {
+				return err
+			}
+			g.emit("%s := concat %s %s", dst, a, b)
+			return nil
+		case "new":
+			if len(call.Args) != 0 {
+				return fmt.Errorf("line %d: new() takes no arguments", call.Line)
+			}
+			g.emit("%s := newrec", dst)
+			return nil
+		case "at":
+			idx, err := g.expr(call.Args[0])
+			if err != nil {
+				return err
+			}
+			g.emit("%s := groupget $%s %s", dst, call.Recv, idx)
+			return nil
+		}
+	}
+	// Scalar expression: lower directly into the destination.
+	return g.exprInto(dst, st.Expr)
+}
+
+// recordArg resolves an expression that must denote a record variable.
+func (g *codegen) recordArg(e Expr, line int) (string, error) {
+	id, ok := e.(*Ident)
+	if !ok {
+		return "", fmt.Errorf("line %d: record argument must be a variable", line)
+	}
+	return "$" + id.Name, nil
+}
+
+// exprInto lowers e and ensures the result lands in dst.
+func (g *codegen) exprInto(dst string, e Expr) error {
+	switch x := e.(type) {
+	case *Lit:
+		g.emit("%s := const %s", dst, x.Text)
+		return nil
+	case *Ident:
+		g.emit("%s := $%s", dst, x.Name)
+		return nil
+	case *FieldExpr:
+		return g.getField(dst, x)
+	case *UnExpr:
+		op, err := g.expr(x.X)
+		if err != nil {
+			return err
+		}
+		g.emit("%s := %s %s", dst, map[string]string{"-": "neg", "!": "not"}[x.Op], op)
+		return nil
+	case *BinExpr:
+		a, err := g.expr(x.L)
+		if err != nil {
+			return err
+		}
+		b, err := g.expr(x.R)
+		if err != nil {
+			return err
+		}
+		g.emit("%s := %s %s %s", dst, a, x.Op, b)
+		return nil
+	case *CallExpr:
+		return g.callInto(dst, x)
+	default:
+		return fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+// expr lowers e to an operand: a literal text or a (possibly fresh)
+// variable.
+func (g *codegen) expr(e Expr) (string, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Text, nil
+	case *Ident:
+		return "$" + x.Name, nil
+	default:
+		t := g.tmp()
+		if err := g.exprInto(t, e); err != nil {
+			return "", err
+		}
+		return t, nil
+	}
+}
+
+// getField lowers rec[idx]: constant indices become static accesses,
+// anything else a dynamic access (which static analysis treats
+// conservatively — exactly the paper's compile-time-knowledge boundary).
+func (g *codegen) getField(dst string, x *FieldExpr) error {
+	if lit, ok := x.Index.(*Lit); ok && isIntLit(lit.Text) {
+		g.emit("%s := getfield $%s %s", dst, x.Rec, lit.Text)
+		return nil
+	}
+	idx, err := g.expr(x.Index)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(idx, "$") {
+		t := g.tmp()
+		g.emit("%s := const %s", t, idx)
+		idx = t
+	}
+	g.emit("%s := getfield $%s %s", dst, x.Rec, idx)
+	return nil
+}
+
+func isIntLit(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// callInto lowers scalar built-in calls.
+func (g *codegen) callInto(dst string, call *CallExpr) error {
+	switch call.Fn {
+	case "abs", "len":
+		if len(call.Args) != 1 {
+			return fmt.Errorf("line %d: %s() takes one argument", call.Line, call.Fn)
+		}
+		op, err := g.expr(call.Args[0])
+		if err != nil {
+			return err
+		}
+		g.emit("%s := %s %s", dst, call.Fn, op)
+		return nil
+	case "contains":
+		if len(call.Args) != 2 {
+			return fmt.Errorf("line %d: contains() takes two arguments", call.Line)
+		}
+		a, err := g.expr(call.Args[0])
+		if err != nil {
+			return err
+		}
+		b, err := g.expr(call.Args[1])
+		if err != nil {
+			return err
+		}
+		g.emit("%s := %s contains %s", dst, a, b)
+		return nil
+	case "sum", "min", "max", "avg", "count":
+		if len(call.Args) != 2 {
+			return fmt.Errorf("line %d: %s(group, field) takes two arguments", call.Line, call.Fn)
+		}
+		grp, ok := call.Args[0].(*Ident)
+		if !ok {
+			return fmt.Errorf("line %d: %s() group must be a parameter", call.Line, call.Fn)
+		}
+		lit, ok := call.Args[1].(*Lit)
+		if !ok || !isIntLit(lit.Text) {
+			return fmt.Errorf("line %d: %s() field index must be a constant integer", call.Line, call.Fn)
+		}
+		g.emit("%s := agg %s $%s %s", dst, call.Fn, grp.Name, lit.Text)
+		return nil
+	case "size":
+		g.emit("%s := groupsize $%s", dst, call.Recv)
+		return nil
+	case "at":
+		idx, err := g.expr(call.Args[0])
+		if err != nil {
+			return err
+		}
+		g.emit("%s := groupget $%s %s", dst, call.Recv, idx)
+		return nil
+	case "copy", "concat", "new":
+		return fmt.Errorf("line %d: %s() produces a record; bind it with := at statement level", call.Line, call.Fn)
+	default:
+		return fmt.Errorf("line %d: unknown function %q", call.Line, call.Fn)
+	}
+}
+
+// cond lowers a boolean expression into branches with short-circuit
+// evaluation: control transfers to lTrue or lFalse.
+func (g *codegen) cond(e Expr, lTrue, lFalse string) error {
+	switch x := e.(type) {
+	case *BinExpr:
+		switch x.Op {
+		case "&&":
+			mid := g.label("A")
+			if err := g.cond(x.L, mid, lFalse); err != nil {
+				return err
+			}
+			g.place(mid)
+			return g.cond(x.R, lTrue, lFalse)
+		case "||":
+			mid := g.label("O")
+			if err := g.cond(x.L, lTrue, mid); err != nil {
+				return err
+			}
+			g.place(mid)
+			return g.cond(x.R, lTrue, lFalse)
+		case "==", "!=", "<", "<=", ">", ">=", "contains":
+			a, err := g.expr(x.L)
+			if err != nil {
+				return err
+			}
+			b, err := g.expr(x.R)
+			if err != nil {
+				return err
+			}
+			g.emit("if %s %s %s goto %s", a, x.Op, b, lTrue)
+			g.emit("goto %s", lFalse)
+			return nil
+		}
+	case *UnExpr:
+		if x.Op == "!" {
+			return g.cond(x.X, lFalse, lTrue)
+		}
+	}
+	// Generic truthiness.
+	op, err := g.expr(e)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(op, "$") {
+		t := g.tmp()
+		g.emit("%s := const %s", t, op)
+		op = t
+	}
+	g.emit("if %s goto %s", op, lTrue)
+	g.emit("goto %s", lFalse)
+	return nil
+}

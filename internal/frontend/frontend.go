@@ -1,0 +1,63 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+
+	"blackboxflow/internal/tac"
+)
+
+// Compile translates PactScript source into a validated three-address-code
+// program ready for execution and static analysis.
+func Compile(src string) (*tac.Program, error) {
+	text, err := CompileToTAC(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := tac.Parse(text)
+	if err != nil {
+		// A parse error on generated code is a compiler bug; surface the
+		// generated text to make it diagnosable.
+		return nil, fmt.Errorf("frontend: internal error: generated TAC does not parse: %w\n--- generated ---\n%s", err, text)
+	}
+	return prog, nil
+}
+
+// MustCompile is Compile, panicking on error (for static source text).
+func MustCompile(src string) *tac.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileToTAC translates PactScript source into textual three-address
+// code (useful for inspecting what the analyses will see).
+func CompileToTAC(src string) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", fmt.Errorf("frontend: %w", err)
+	}
+	file, err := parseFile(toks)
+	if err != nil {
+		return "", fmt.Errorf("frontend: %w", err)
+	}
+	var b strings.Builder
+	seen := map[string]bool{}
+	for i, fn := range file.Funcs {
+		if seen[fn.Name] {
+			return "", fmt.Errorf("frontend: duplicate function %q", fn.Name)
+		}
+		seen[fn.Name] = true
+		text, err := compileFunc(fn)
+		if err != nil {
+			return "", fmt.Errorf("frontend: %w", err)
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(text)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,131 @@
+package optimizer
+
+import (
+	"sort"
+)
+
+// Enumerator implements the plan enumeration of Section 6: for a given data
+// flow it computes every data flow derivable by valid pairwise reorderings
+// of operators. Where Algorithm 1 in the paper recursively enumerates
+// sub-flows and exchanges neighbouring operators, this implementation
+// computes the same closure as a worklist fixpoint over single exchanges: a
+// memo table keyed by the canonical operator order (Algorithm 1's
+// getMTabKey) records every plan reached, so each distinct ordering is
+// expanded exactly once. The two formulations enumerate the same plan set;
+// the worklist form extends to binary operators (join rotations, pushes
+// through either input) without special cases.
+type Enumerator struct {
+	// Rules allows disabling individual exchange-rule families for
+	// ablation studies. A nil value enables everything.
+	Rules *RuleSet
+
+	// Stats of the last Enumerate call.
+	Stats EnumStats
+}
+
+// RuleSet toggles exchange-rule families.
+type RuleSet struct {
+	UnaryUnary  bool // Theorems 1 and 2, Reduce-Reduce
+	UnaryBinary bool // Theorem 3 pushes, invariant grouping (Theorem 4)
+	Rotations   bool // Lemma 1 join-join rotations
+}
+
+// AllRules enables every reordering rule.
+func AllRules() *RuleSet {
+	return &RuleSet{UnaryUnary: true, UnaryBinary: true, Rotations: true}
+}
+
+// EnumStats reports enumeration effort.
+type EnumStats struct {
+	Expanded  int // plans taken off the worklist and expanded
+	MemoHits  int // neighbour plans already present in the memo table
+	Exchanges int // operator exchanges attempted
+}
+
+// NewEnumerator returns an enumerator with all rules enabled.
+func NewEnumerator() *Enumerator {
+	return &Enumerator{Rules: AllRules()}
+}
+
+// Enumerate returns all valid reorderings of the data flow t, including t
+// itself, in a deterministic order (sorted by canonical key). The result is
+// a set: no two returned trees share a canonical key.
+func (e *Enumerator) Enumerate(t *Tree) []*Tree {
+	e.Stats = EnumStats{}
+	rules := e.Rules
+	if rules == nil {
+		rules = AllRules()
+	}
+	memo := map[string]*Tree{t.Key(): t}
+	queue := []*Tree{t}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		e.Stats.Expanded++
+		for _, n := range e.neighbors(p, rules) {
+			k := n.Key()
+			if _, seen := memo[k]; seen {
+				e.Stats.MemoHits++
+				continue
+			}
+			memo[k] = n
+			queue = append(queue, n)
+		}
+	}
+	keys := make([]string, 0, len(memo))
+	for k := range memo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Tree, len(keys))
+	for i, k := range keys {
+		out[i] = memo[k]
+	}
+	return out
+}
+
+// neighbors returns every tree reachable from t by exactly one valid
+// exchange of a parent operator with the root of one of its child subtrees,
+// anywhere in the tree.
+func (e *Enumerator) neighbors(t *Tree, rules *RuleSet) []*Tree {
+	var out []*Tree
+	if t.Op.IsUDFOp() {
+		for j := range t.Kids {
+			if !t.Kids[j].Op.IsUDFOp() {
+				continue
+			}
+			for _, ex := range exchanges(t, j) {
+				if !ruleEnabled(rules, ex.id) {
+					continue
+				}
+				e.Stats.Exchanges++
+				if nt := ex.build(t, j); nt != nil {
+					out = append(out, nt)
+				}
+			}
+		}
+	}
+	// Exchanges within child subtrees, lifted to this node.
+	for j, kid := range t.Kids {
+		for _, nk := range e.neighbors(kid, rules) {
+			kids := make([]*Tree, len(t.Kids))
+			copy(kids, t.Kids)
+			kids[j] = nk
+			out = append(out, NewTree(t.Op, kids...))
+		}
+	}
+	return out
+}
+
+func ruleEnabled(rules *RuleSet, id string) bool {
+	switch id[:2] {
+	case "uu":
+		return rules.UnaryUnary
+	case "ub", "bu":
+		return rules.UnaryBinary
+	case "bb", "bx":
+		return rules.Rotations
+	default:
+		return true
+	}
+}

@@ -1,0 +1,467 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/props"
+)
+
+// Shipping is a data shipping strategy for one operator input.
+type Shipping uint8
+
+// Shipping strategies.
+const (
+	ShipForward   Shipping = iota // keep data where it is (local forward)
+	ShipPartition                 // hash-partition by the input's key fields
+	ShipBroadcast                 // replicate to every parallel instance
+)
+
+// String returns the strategy's name.
+func (s Shipping) String() string {
+	switch s {
+	case ShipForward:
+		return "forward"
+	case ShipPartition:
+		return "partition"
+	case ShipBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("ship(%d)", uint8(s))
+	}
+}
+
+// Local is a local execution strategy for an operator.
+type Local uint8
+
+// Local strategies.
+const (
+	LocalPipe       Local = iota // record-at-a-time pipeline (Map, sinks)
+	LocalScan                    // source scan
+	LocalSortGroup               // sort-based grouping (Reduce)
+	LocalHashGroup               // hash-based grouping (Reduce)
+	LocalHashJoin                // hash join, build side chosen separately
+	LocalMergeJoin               // sort-merge join
+	LocalNestedLoop              // block nested loops (Cross)
+	LocalSortCoGrp               // sort-based co-grouping (CoGroup)
+)
+
+// String returns the strategy's name.
+func (l Local) String() string {
+	switch l {
+	case LocalPipe:
+		return "pipe"
+	case LocalScan:
+		return "scan"
+	case LocalSortGroup:
+		return "sort-group"
+	case LocalHashGroup:
+		return "hash-group"
+	case LocalHashJoin:
+		return "hash-join"
+	case LocalMergeJoin:
+		return "merge-join"
+	case LocalNestedLoop:
+		return "nested-loop"
+	case LocalSortCoGrp:
+		return "sort-cogroup"
+	default:
+		return fmt.Sprintf("local(%d)", uint8(l))
+	}
+}
+
+// PhysPlan is a physical execution plan: the operator tree annotated with
+// shipping and local strategies, estimates, and cumulative cost.
+type PhysPlan struct {
+	Op     *dataflow.Operator
+	Tree   *Tree
+	Inputs []*PhysPlan
+
+	Ship  []Shipping // per input
+	Local Local
+	// BuildSide selects the hash-join build input (0 or 1).
+	BuildSide int
+
+	// Partitioned is the set of key attributes the output is
+	// hash-partitioned by (nil/empty when unpartitioned) — the interesting
+	// property tracked during physical optimization.
+	Partitioned props.FieldSet
+
+	// Estimates.
+	OutRecords float64
+	OutBytes   float64
+
+	// Cost is cumulative over the subtree.
+	Cost Cost
+}
+
+// String renders the plan node.
+func (p *PhysPlan) String() string {
+	ships := make([]string, len(p.Ship))
+	for i, s := range p.Ship {
+		ships[i] = s.String()
+	}
+	return fmt.Sprintf("%s{%s;%s}", p.Op.Name, strings.Join(ships, ","), p.Local)
+}
+
+// Indent renders the physical plan as an indented listing with strategies
+// and estimates.
+func (p *PhysPlan) Indent() string {
+	var b strings.Builder
+	var rec func(n *PhysPlan, depth int)
+	rec = func(n *PhysPlan, depth int) {
+		pad := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%s  [out=%.0f recs, %.0f B]", pad, n, n.OutRecords, n.OutBytes)
+		if n.Partitioned.Len() > 0 {
+			fmt.Fprintf(&b, " part=%s", n.Partitioned)
+		}
+		b.WriteByte('\n')
+		for _, in := range n.Inputs {
+			rec(in, depth+1)
+		}
+	}
+	rec(p, 0)
+	return b.String()
+}
+
+// PhysicalOptimizer chooses shipping and local strategies for an operator
+// tree, exploiting interesting properties (partitioning reuse) as sketched
+// at the end of Section 6 and demonstrated with TPC-H Q15 in Section 7.3.
+//
+// The optimizer memoizes candidate plans per canonical sub-flow, so when it
+// is reused across the alternatives of an enumeration, structurally shared
+// sub-flows are optimized once — the integration of physical optimization
+// with enumeration that Section 6 describes ("the principle of optimality
+// can be exploited which effectively reduces the number of enumerated
+// alternatives").
+type PhysicalOptimizer struct {
+	Est *Estimator
+	// DOP is the degree of parallelism (the paper's evaluation uses 32).
+	DOP int
+	// Weights fold the cost vector into a scalar for pruning and ranking.
+	Weights Weights
+	// UseInterestingProps keeps candidate plans per partitioning property;
+	// disabling it (for the ablation benchmark) keeps only the cheapest
+	// plan per sub-tree regardless of its output partitioning.
+	UseInterestingProps bool
+	// ShareSubplans memoizes sub-flow plans across Optimize calls (on by
+	// default; disabling it restores the naive per-alternative
+	// optimization for the ablation benchmark).
+	ShareSubplans bool
+
+	memo map[string][]*PhysPlan
+}
+
+// NewPhysicalOptimizer returns a physical optimizer with default settings.
+func NewPhysicalOptimizer(est *Estimator, dop int) *PhysicalOptimizer {
+	return &PhysicalOptimizer{
+		Est: est, DOP: dop, Weights: DefaultWeights,
+		UseInterestingProps: true, ShareSubplans: true,
+		memo: map[string][]*PhysPlan{},
+	}
+}
+
+// CPU work factors for local strategies (relative units per record).
+const (
+	cpuSortFactor  = 0.08
+	cpuHashFactor  = 0.03
+	cpuProbeFactor = 0.02
+	cpuPipeFactor  = 0.01
+)
+
+// Optimize returns the cheapest physical plan for the operator tree.
+func (po *PhysicalOptimizer) Optimize(t *Tree) *PhysPlan {
+	memo := po.memo
+	if memo == nil || !po.ShareSubplans {
+		memo = map[string][]*PhysPlan{}
+	}
+	cands := po.plans(t, memo)
+	var best *PhysPlan
+	for _, c := range cands {
+		if best == nil || c.Cost.Total(po.Weights) < best.Cost.Total(po.Weights) {
+			best = c
+		}
+	}
+	return best
+}
+
+// plans returns the candidate plans for a subtree: the cheapest per
+// interesting partitioning property, memoized by the sub-flow's canonical
+// key so that alternatives sharing sub-flows share their plans.
+func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*PhysPlan {
+	if ps, ok := memo[t.Key()]; ok {
+		return ps
+	}
+	var out []*PhysPlan
+	op := t.Op
+	switch op.Kind {
+	case dataflow.KindSource:
+		out = []*PhysPlan{{
+			Op: op, Tree: t, Local: LocalScan,
+			OutRecords: po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+			Cost: Cost{Disk: po.Est.Bytes(t)},
+		}}
+
+	case dataflow.KindSink:
+		for _, in := range po.plans(t.Kids[0], memo) {
+			out = append(out, &PhysPlan{
+				Op: op, Tree: t, Inputs: []*PhysPlan{in},
+				Ship: []Shipping{ShipForward}, Local: LocalPipe,
+				Partitioned: in.Partitioned,
+				OutRecords:  in.OutRecords, OutBytes: in.OutBytes,
+				Cost: in.Cost,
+			})
+		}
+
+	case dataflow.KindMap:
+		for _, in := range po.plans(t.Kids[0], memo) {
+			p := &PhysPlan{
+				Op: op, Tree: t, Inputs: []*PhysPlan{in},
+				Ship: []Shipping{ShipForward}, Local: LocalPipe,
+				OutRecords: po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+				Cost: in.Cost.Plus(Cost{CPU: po.Est.CPUCost(t) + cpuPipeFactor*in.OutRecords}),
+			}
+			// Partitioning survives a Map that does not write the keys.
+			if in.Partitioned.Len() > 0 && props.Disjoint(t.Writes(), in.Partitioned) {
+				p.Partitioned = in.Partitioned
+			}
+			out = append(out, p)
+		}
+
+	case dataflow.KindReduce:
+		key := op.KeySet(0)
+		for _, in := range po.plans(t.Kids[0], memo) {
+			ship := ShipPartition
+			net := in.OutBytes
+			// Interesting property: a compatible existing partitioning
+			// makes the shuffle unnecessary (records with equal reduce keys
+			// are already co-located).
+			if in.Partitioned.Len() > 0 && in.Partitioned.SubsetOf(key) {
+				ship, net = ShipForward, 0
+			}
+			for _, local := range []Local{LocalSortGroup, LocalHashGroup} {
+				n := in.OutRecords
+				var localCPU float64
+				if local == LocalSortGroup {
+					localCPU = cpuSortFactor * n * math.Log2(math.Max(n, 2))
+				} else {
+					localCPU = cpuHashFactor * n
+				}
+				out = append(out, &PhysPlan{
+					Op: op, Tree: t, Inputs: []*PhysPlan{in},
+					Ship: []Shipping{ship}, Local: local,
+					Partitioned: key.Clone(),
+					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+					Cost: in.Cost.Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + localCPU}),
+				})
+			}
+		}
+
+	case dataflow.KindMatch:
+		out = po.joinPlans(t, memo)
+
+	case dataflow.KindCross:
+		for _, l := range po.plans(t.Kids[0], memo) {
+			for _, r := range po.plans(t.Kids[1], memo) {
+				// Broadcast the smaller side, forward the larger.
+				small, big := 0, 1
+				if l.OutBytes > r.OutBytes {
+					small, big = 1, 0
+				}
+				ins := []*PhysPlan{l, r}
+				ship := make([]Shipping, 2)
+				ship[small] = ShipBroadcast
+				ship[big] = ShipForward
+				net := ins[small].OutBytes * float64(po.DOP)
+				out = append(out, &PhysPlan{
+					Op: op, Tree: t, Inputs: ins,
+					Ship: ship, Local: LocalNestedLoop,
+					Partitioned: ins[big].Partitioned,
+					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t)}),
+				})
+			}
+		}
+
+	case dataflow.KindCoGroup:
+		lKey, rKey := op.KeySet(0), op.KeySet(1)
+		for _, l := range po.plans(t.Kids[0], memo) {
+			for _, r := range po.plans(t.Kids[1], memo) {
+				var net float64
+				ship := []Shipping{ShipPartition, ShipPartition}
+				if l.Partitioned.Len() > 0 && l.Partitioned.Equal(lKey) {
+					ship[0] = ShipForward
+				} else {
+					net += l.OutBytes
+				}
+				if r.Partitioned.Len() > 0 && r.Partitioned.Equal(rKey) {
+					ship[1] = ShipForward
+				} else {
+					net += r.OutBytes
+				}
+				sortCPU := cpuSortFactor * (l.OutRecords*math.Log2(math.Max(l.OutRecords, 2)) +
+					r.OutRecords*math.Log2(math.Max(r.OutRecords, 2)))
+				out = append(out, &PhysPlan{
+					Op: op, Tree: t, Inputs: []*PhysPlan{l, r},
+					Ship: ship, Local: LocalSortCoGrp,
+					Partitioned: lKey.Clone(),
+					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + sortCPU}),
+				})
+			}
+		}
+	}
+
+	out = po.prune(out)
+	memo[t.Key()] = out
+	return out
+}
+
+// joinPlans enumerates the Match strategies of the paper's Section 7.3
+// discussion: repartition both sides and hash-join (reusing existing
+// partitionings), or broadcast the smaller side and keep the larger local,
+// or repartition and sort-merge.
+func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*PhysPlan {
+	op := t.Op
+	lKey, rKey := op.KeySet(0), op.KeySet(1)
+	var out []*PhysPlan
+	for _, l := range po.plans(t.Kids[0], memo) {
+		for _, r := range po.plans(t.Kids[1], memo) {
+			ins := []*PhysPlan{l, r}
+			keys := []props.FieldSet{lKey, rKey}
+
+			// Strategy A: co-partition + hash join (build the smaller side).
+			{
+				ship := []Shipping{ShipPartition, ShipPartition}
+				var net float64
+				for i, in := range ins {
+					if in.Partitioned.Len() > 0 && in.Partitioned.Equal(keys[i]) {
+						ship[i] = ShipForward
+					} else {
+						net += in.OutBytes
+					}
+				}
+				build := 0
+				if r.OutBytes < l.OutBytes {
+					build = 1
+				}
+				cpu := cpuHashFactor*ins[build].OutRecords + cpuProbeFactor*ins[1-build].OutRecords
+				out = append(out, &PhysPlan{
+					Op: op, Tree: t, Inputs: ins,
+					Ship: ship, Local: LocalHashJoin, BuildSide: build,
+					Partitioned: keys[0].Clone().UnionWith(keys[1]),
+					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + cpu}),
+				})
+			}
+
+			// Strategy B: broadcast one side (build it), forward the other.
+			for bc := 0; bc < 2; bc++ {
+				ship := []Shipping{ShipForward, ShipForward}
+				ship[bc] = ShipBroadcast
+				net := ins[bc].OutBytes * float64(po.DOP)
+				cpu := cpuHashFactor*ins[bc].OutRecords*float64(po.DOP) + cpuProbeFactor*ins[1-bc].OutRecords
+				out = append(out, &PhysPlan{
+					Op: op, Tree: t, Inputs: ins,
+					Ship: ship, Local: LocalHashJoin, BuildSide: bc,
+					Partitioned: ins[1-bc].Partitioned,
+					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + cpu}),
+				})
+			}
+
+			// Strategy C: co-partition + sort-merge join.
+			{
+				ship := []Shipping{ShipPartition, ShipPartition}
+				var net float64
+				for i, in := range ins {
+					if in.Partitioned.Len() > 0 && in.Partitioned.Equal(keys[i]) {
+						ship[i] = ShipForward
+					} else {
+						net += in.OutBytes
+					}
+				}
+				cpu := cpuSortFactor * (l.OutRecords*math.Log2(math.Max(l.OutRecords, 2)) +
+					r.OutRecords*math.Log2(math.Max(r.OutRecords, 2)))
+				out = append(out, &PhysPlan{
+					Op: op, Tree: t, Inputs: ins,
+					Ship: ship, Local: LocalMergeJoin,
+					Partitioned: keys[0].Clone().UnionWith(keys[1]),
+					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + cpu}),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// prune keeps, per distinct output-partitioning property, only the cheapest
+// plan (the principle of optimality with interesting properties). With
+// interesting properties disabled it keeps a single global cheapest plan.
+func (po *PhysicalOptimizer) prune(cands []*PhysPlan) []*PhysPlan {
+	if len(cands) <= 1 {
+		return cands
+	}
+	if !po.UseInterestingProps {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.Cost.Total(po.Weights) < best.Cost.Total(po.Weights) {
+				best = c
+			}
+		}
+		return []*PhysPlan{best}
+	}
+	byProp := map[string]*PhysPlan{}
+	for _, c := range cands {
+		k := c.Partitioned.String()
+		if cur, ok := byProp[k]; !ok || c.Cost.Total(po.Weights) < cur.Cost.Total(po.Weights) {
+			byProp[k] = c
+		}
+	}
+	keys := make([]string, 0, len(byProp))
+	for k := range byProp {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*PhysPlan, 0, len(byProp))
+	for _, k := range keys {
+		out = append(out, byProp[k])
+	}
+	return out
+}
+
+// RankedPlan pairs an alternative with its best physical plan.
+type RankedPlan struct {
+	Tree *Tree
+	Phys *PhysPlan
+	Cost float64
+	Rank int // 1-based after sorting
+}
+
+// RankAll enumerates all reorderings of the flow tree, physically optimizes
+// each, and returns them sorted by ascending estimated cost — the procedure
+// behind the paper's Figures 5–7.
+func RankAll(t *Tree, est *Estimator, dop int) []RankedPlan {
+	enum := NewEnumerator()
+	alts := enum.Enumerate(t)
+	po := NewPhysicalOptimizer(est, dop)
+	ranked := make([]RankedPlan, 0, len(alts))
+	for _, a := range alts {
+		phys := po.Optimize(a)
+		ranked = append(ranked, RankedPlan{Tree: a, Phys: phys, Cost: phys.Cost.Total(po.Weights)})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Cost != ranked[j].Cost {
+			return ranked[i].Cost < ranked[j].Cost
+		}
+		return ranked[i].Tree.Key() < ranked[j].Tree.Key()
+	})
+	for i := range ranked {
+		ranked[i].Rank = i + 1
+	}
+	return ranked
+}

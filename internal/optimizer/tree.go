@@ -1,0 +1,174 @@
+// Package optimizer implements the data flow optimizer of the paper:
+// reordering conditions for black-box operators (Section 4), the plan
+// enumeration algorithm with memo table (Section 6, Algorithm 1, extended
+// to binary operators), a cost model driven by the hints the paper's
+// prototype uses (Section 7.1), and a physical optimizer that chooses
+// shipping and local execution strategies with interesting-property reuse.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/props"
+)
+
+// Tree is an operator tree: one alternative ordering of a data flow.
+// Trees are immutable and share subtrees across alternatives; the
+// enumeration's memo table and the attribute/cost caches key off tree
+// pointers and canonical keys.
+type Tree struct {
+	Op   *dataflow.Operator
+	Kids []*Tree
+
+	key   string // canonical key, computed lazily
+	attrs props.FieldSet
+	reads props.FieldSet
+	write props.FieldSet
+}
+
+// NewTree builds a tree node over the given children.
+func NewTree(op *dataflow.Operator, kids ...*Tree) *Tree {
+	return &Tree{Op: op, Kids: kids}
+}
+
+// FromFlow converts a validated flow into its operator tree (rooted at the
+// sink).
+func FromFlow(f *dataflow.Flow) (*Tree, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var build func(op *dataflow.Operator) *Tree
+	build = func(op *dataflow.Operator) *Tree {
+		kids := make([]*Tree, len(op.Inputs))
+		for i, in := range op.Inputs {
+			kids[i] = build(in)
+		}
+		return NewTree(op, kids...)
+	}
+	return build(f.Sink), nil
+}
+
+// Key returns a canonical string identifying the tree's operator order
+// (the memo-table key of Algorithm 1).
+func (t *Tree) Key() string {
+	if t.key != "" {
+		return t.key
+	}
+	if len(t.Kids) == 0 {
+		t.key = fmt.Sprint(t.Op.ID)
+		return t.key
+	}
+	parts := make([]string, len(t.Kids))
+	for i, k := range t.Kids {
+		parts[i] = k.Key()
+	}
+	t.key = fmt.Sprintf("%d(%s)", t.Op.ID, strings.Join(parts, ","))
+	return t.key
+}
+
+// Attrs returns the attribute set on the tree's output edge, resolving
+// operator effects bottom-up (cached).
+func (t *Tree) Attrs() props.FieldSet {
+	if t.attrs != nil {
+		return t.attrs
+	}
+	switch t.Op.Kind {
+	case dataflow.KindSource:
+		t.attrs = t.Op.SourceAttrs.Clone()
+	case dataflow.KindSink:
+		t.attrs = t.Kids[0].Attrs().Clone()
+	default:
+		t.attrs = t.Op.Effect.ResolveOutput(t.kidAttrs())
+	}
+	return t.attrs
+}
+
+func (t *Tree) kidAttrs() []props.FieldSet {
+	in := make([]props.FieldSet, len(t.Kids))
+	for i, k := range t.Kids {
+		in[i] = k.Attrs()
+	}
+	return in
+}
+
+// Reads returns the operator's resolved read set R_f at this position in
+// the plan, including its key attributes (the paper's f' transformation for
+// Match adds the join keys to the read set; key attributes of KAT operators
+// are always read).
+func (t *Tree) Reads() props.FieldSet {
+	if t.reads != nil {
+		return t.reads
+	}
+	if !t.Op.IsUDFOp() {
+		t.reads = props.FieldSet{}
+		return t.reads
+	}
+	r := t.Op.Effect.ResolveRead(t.kidAttrs())
+	r.UnionWith(t.Op.AllKeys())
+	t.reads = r
+	return r
+}
+
+// Writes returns the operator's resolved write set W_f at this position.
+func (t *Tree) Writes() props.FieldSet {
+	if t.write != nil {
+		return t.write
+	}
+	if !t.Op.IsUDFOp() {
+		t.write = props.FieldSet{}
+		return t.write
+	}
+	t.write = t.Op.Effect.ResolveWrite(t.kidAttrs())
+	return t.write
+}
+
+// Operators returns the operators of the tree in post-order.
+func (t *Tree) Operators() []*dataflow.Operator {
+	var out []*dataflow.Operator
+	var rec func(n *Tree)
+	rec = func(n *Tree) {
+		for _, k := range n.Kids {
+			rec(k)
+		}
+		out = append(out, n.Op)
+	}
+	rec(t)
+	return out
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int {
+	n := 1
+	for _, k := range t.Kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// String renders the tree as a nested expression of operator names.
+func (t *Tree) String() string {
+	if len(t.Kids) == 0 {
+		return t.Op.Name
+	}
+	parts := make([]string, len(t.Kids))
+	for i, k := range t.Kids {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.Op.Name, strings.Join(parts, ", "))
+}
+
+// Indent renders the tree as an indented plan listing.
+func (t *Tree) Indent() string {
+	var b strings.Builder
+	var rec func(n *Tree, depth int)
+	rec = func(n *Tree, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), n.Op)
+		for _, k := range n.Kids {
+			rec(k, depth+1)
+		}
+	}
+	rec(t, 0)
+	return b.String()
+}

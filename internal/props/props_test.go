@@ -1,0 +1,234 @@
+package props
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldSetBasics(t *testing.T) {
+	s := NewFieldSet(1, 3, 5)
+	if !s.Has(3) || s.Has(2) || s.Len() != 3 {
+		t.Errorf("basic membership wrong: %v", s)
+	}
+	s.Add(2)
+	if !s.Has(2) {
+		t.Error("Add failed")
+	}
+	got := s.Sorted()
+	want := []int{1, 2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v", got)
+		}
+	}
+	if s.String() != "{1,2,3,5}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestFieldSetAlgebra(t *testing.T) {
+	a := NewFieldSet(1, 2, 3)
+	b := NewFieldSet(3, 4)
+	if got := Union(a, b); !got.Equal(NewFieldSet(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Intersect(a, b); !got.Equal(NewFieldSet(3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Minus(a, b); !got.Equal(NewFieldSet(1, 2)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if Disjoint(a, b) {
+		t.Error("a and b share 3")
+	}
+	if !Disjoint(NewFieldSet(1), NewFieldSet(2)) {
+		t.Error("disjoint sets reported overlapping")
+	}
+	if !NewFieldSet(1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+	c := a.Clone()
+	c.Add(99)
+	if a.Has(99) {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestROC(t *testing.T) {
+	// Paper Section 3: f1 has R={1} W={1}; f2 has R={0} W={}; f3 has R={0,1} W={0}.
+	r1, w1 := NewFieldSet(1), NewFieldSet(1)
+	r2, w2 := NewFieldSet(0), NewFieldSet()
+	r3, w3 := NewFieldSet(0, 1), NewFieldSet(0)
+	if !ROC(r1, w1, r2, w2) {
+		t.Error("f1/f2 must satisfy ROC (reorderable)")
+	}
+	if ROC(r2, w2, r3, w3) {
+		t.Error("f2/f3 conflict on field 0 (R_f2 ∩ W_f3)")
+	}
+	if ROC(r1, w1, r3, w3) {
+		t.Error("f1/f3 conflict on field 1 (W_f1 ∩ R_f3)")
+	}
+	// Write-write conflict.
+	if ROC(NewFieldSet(), NewFieldSet(5), NewFieldSet(), NewFieldSet(5)) {
+		t.Error("write-write conflict missed")
+	}
+}
+
+func TestEffectResolution(t *testing.T) {
+	// A map UDF that implicitly copies its input, modifies field 2, adds
+	// field 7, and projects field 3.
+	e := NewEffect(1)
+	e.CopiesParam[0] = true
+	e.Sets = NewFieldSet(2, 7)
+	e.Projects = NewFieldSet(3)
+	in := []FieldSet{NewFieldSet(0, 1, 2, 3)}
+
+	w := e.ResolveWrite(in)
+	if !w.Equal(NewFieldSet(2, 3, 7)) {
+		t.Errorf("write set = %v, want {2,3,7}", w)
+	}
+	out := e.ResolveOutput(in)
+	if !out.Equal(NewFieldSet(0, 1, 2, 7)) {
+		t.Errorf("output attrs = %v, want {0,1,2,7}", out)
+	}
+}
+
+func TestEffectImplicitProjection(t *testing.T) {
+	// Default constructor: all input attributes written except explicit
+	// copies.
+	e := NewEffect(1)
+	e.Copies = NewFieldSet(0)
+	e.Sets = NewFieldSet(5)
+	in := []FieldSet{NewFieldSet(0, 1, 2)}
+	w := e.ResolveWrite(in)
+	if !w.Equal(NewFieldSet(1, 2, 5)) {
+		t.Errorf("write set = %v, want {1,2,5}", w)
+	}
+	out := e.ResolveOutput(in)
+	if !out.Equal(NewFieldSet(0, 5)) {
+		t.Errorf("output = %v, want {0,5}", out)
+	}
+}
+
+func TestEffectBinaryResolution(t *testing.T) {
+	// A Match-style UDF concatenating both inputs.
+	e := NewEffect(2)
+	e.CopiesParam[0] = true
+	e.CopiesParam[1] = true
+	in := []FieldSet{NewFieldSet(0, 1), NewFieldSet(2, 3)}
+	if w := e.ResolveWrite(in); w.Len() != 0 {
+		t.Errorf("pure concat writes nothing, got %v", w)
+	}
+	if out := e.ResolveOutput(in); !out.Equal(NewFieldSet(0, 1, 2, 3)) {
+		t.Errorf("output = %v", out)
+	}
+	// Copying only the left side implicitly projects the right.
+	e2 := NewEffect(2)
+	e2.CopiesParam[0] = true
+	if w := e2.ResolveWrite(in); !w.Equal(NewFieldSet(2, 3)) {
+		t.Errorf("write = %v, want right side", w)
+	}
+}
+
+func TestDynamicRead(t *testing.T) {
+	e := NewEffect(1)
+	e.Reads = NewFieldSet(0)
+	e.DynamicRead = true
+	in := []FieldSet{NewFieldSet(0, 1, 2)}
+	if r := e.ResolveRead(in); !r.Equal(NewFieldSet(0, 1, 2)) {
+		t.Errorf("dynamic read must cover the whole input, got %v", r)
+	}
+}
+
+func TestKGP(t *testing.T) {
+	// Exactly-one emitter: KGP for any key.
+	one := NewEffect(1)
+	one.EmitMin, one.EmitMax = 1, 1
+	if !one.KGP(NewFieldSet()) {
+		t.Error("exactly-one emitter must satisfy KGP for any key")
+	}
+	// 0-or-1 filter on field 0: KGP iff 0 ∈ key.
+	filter := NewEffect(1)
+	filter.EmitMin, filter.EmitMax = 0, 1
+	filter.CondReads = NewFieldSet(0)
+	filter.Reads = NewFieldSet(0)
+	if !filter.KGP(NewFieldSet(0, 1)) {
+		t.Error("filter on key subset must satisfy KGP")
+	}
+	if filter.KGP(NewFieldSet(1)) {
+		t.Error("filter on non-key field must not satisfy KGP")
+	}
+	// Multi-emitters never satisfy KGP.
+	multi := NewEffect(1)
+	multi.EmitMin, multi.EmitMax = 0, 2
+	if multi.KGP(NewFieldSet(0)) {
+		t.Error("multi-emitter must not satisfy KGP")
+	}
+	unbounded := NewEffect(1)
+	unbounded.EmitMin, unbounded.EmitMax = 0, Unbounded
+	if unbounded.KGP(NewFieldSet(0)) {
+		t.Error("unbounded emitter must not satisfy KGP")
+	}
+	// Dynamic reads poison the condition-read subset test.
+	dyn := NewEffect(1)
+	dyn.EmitMin, dyn.EmitMax = 0, 1
+	dyn.DynamicRead = true
+	if dyn.KGP(NewFieldSet(0)) {
+		t.Error("dynamic-read filter must not satisfy KGP")
+	}
+}
+
+func TestEffectClone(t *testing.T) {
+	e := NewEffect(2)
+	e.Reads.Add(1)
+	c := e.Clone()
+	c.Reads.Add(2)
+	c.CopiesParam[0] = true
+	if e.Reads.Has(2) || e.CopiesParam[0] {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+// Property: ROC is symmetric.
+func TestQuickROCSymmetric(t *testing.T) {
+	mk := func(bits uint8) FieldSet {
+		s := FieldSet{}
+		for i := 0; i < 8; i++ {
+			if bits&(1<<i) != 0 {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+	f := func(a, b, c, d uint8) bool {
+		r1, w1, r2, w2 := mk(a), mk(b), mk(c), mk(d)
+		return ROC(r1, w1, r2, w2) == ROC(r2, w2, r1, w1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union is commutative and Minus(a,b) ⊆ a.
+func TestQuickSetAlgebra(t *testing.T) {
+	mk := func(xs []uint8) FieldSet {
+		s := FieldSet{}
+		for _, x := range xs {
+			s.Add(int(x % 32))
+		}
+		return s
+	}
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Minus(a, b).SubsetOf(a) {
+			return false
+		}
+		return Disjoint(Minus(a, b), b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,548 @@
+// Package record implements the data model of Section 2.2 of the paper:
+// a data set is an unordered list (bag) of records, and a record is an
+// ordered tuple of values. The semantics of values is left to the
+// user-defined functions that manipulate them.
+//
+// Records in this implementation are laid out over the plan's global record
+// (Definition 1 in the paper): every attribute that any operator in the plan
+// touches has a fixed global index, and fields that a particular data set
+// does not carry are Null. This makes operator reordering trivially
+// index-stable: a UDF compiled against global indices reads the same
+// attribute no matter where in the plan it executes.
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the runtime types a field value can take.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single field value. The zero Value is Null.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the absent value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. Floats are truncated; bools map to 0/1.
+// Null and strings return 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the numeric payload as float64.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload, or a rendering for other kinds.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	default:
+		return v.String()
+	}
+}
+
+// AsBool returns the truthiness of the value: false for Null, zero numbers,
+// and the empty string.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "⊥"
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindString:
+		return fmt.Sprintf("%q", v.s)
+	case KindBool:
+		return fmt.Sprintf("%t", v.b)
+	default:
+		return "?"
+	}
+}
+
+// Equal implements value equality (paper Section 2.2: v1i = v2i). Numeric
+// values compare across int/float kinds by numeric value.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindInt:
+			return v.i == o.i
+		case KindFloat:
+			return v.f == o.f
+		case KindString:
+			return v.s == o.s
+		case KindBool:
+			return v.b == o.b
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders two values: Null < Bool < numeric < String, with numeric
+// kinds compared by value. Returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	vr, or := v.rank(), o.rank()
+	if vr != or {
+		return sign(vr - or)
+	}
+	switch {
+	case v.kind == KindNull:
+		return 0
+	case v.kind == KindBool:
+		return boolCompare(v.b, o.b)
+	case v.isNumeric():
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return strings.Compare(v.s, o.s)
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolCompare(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Hash folds the value into a 64-bit FNV-1a style hash, used by hash
+// partitioning and hash joins.
+func (v Value) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
+	mix(byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
+		for _, b := range buf {
+			mix(b)
+		}
+	case KindFloat:
+		// Hash floats by numeric identity with ints when integral, so that
+		// Equal values hash equally.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			return Int(int64(v.f)).Hash()
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		for _, b := range buf {
+			mix(b)
+		}
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindBool:
+		if v.b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+// EncodedSize returns the number of bytes the value would occupy in the
+// engine's wire encoding. Used for network/disk cost accounting.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindInt, KindFloat:
+		return 9
+	case KindBool:
+		return 2
+	case KindString:
+		return 1 + 4 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// Record is an ordered tuple of values r = <v1, ..., vm>.
+type Record []Value
+
+// NewRecord returns an all-Null record of width n.
+func NewRecord(n int) Record { return make(Record, n) }
+
+// Clone returns a copy of the record that shares no storage.
+func (r Record) Clone() Record {
+	c := make(Record, len(r))
+	copy(c, r)
+	return c
+}
+
+// Field returns field n, or Null if n is out of range.
+func (r Record) Field(n int) Value {
+	if n < 0 || n >= len(r) {
+		return Null
+	}
+	return r[n]
+}
+
+// WithField returns a copy of r with field n set to v, growing the record
+// if necessary.
+func (r Record) WithField(n int, v Value) Record {
+	width := len(r)
+	if n >= width {
+		width = n + 1
+	}
+	c := make(Record, width)
+	copy(c, r)
+	c[n] = v
+	return c
+}
+
+// SetField sets field n in place; the record must be wide enough.
+func (r Record) SetField(n int, v Value) {
+	r[n] = v
+}
+
+// Equal implements record equality (Section 2.2): same arity and pairwise
+// equal values.
+func (r Record) Equal(o Record) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders records lexicographically; shorter records order first on
+// equal prefixes.
+func (r Record) Compare(o Record) int {
+	n := len(r)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := r[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	return sign(len(r) - len(o))
+}
+
+// Project returns the sub-record of r at the given field indices
+// (the projection π_F of the paper).
+func (r Record) Project(fields []int) Record {
+	p := make(Record, len(fields))
+	for i, f := range fields {
+		p[i] = r.Field(f)
+	}
+	return p
+}
+
+// Hash combines the hashes of the fields at the given indices. With a nil
+// slice it hashes all fields.
+func (r Record) Hash(fields []int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	if fields == nil {
+		for _, v := range r {
+			h = (h*prime ^ v.Hash())
+		}
+		return h
+	}
+	for _, f := range fields {
+		h = (h*prime ^ r.Field(f).Hash())
+	}
+	return h
+}
+
+// EncodedSize is the wire size of the record: a 4-byte arity header plus the
+// fields.
+func (r Record) EncodedSize() int {
+	n := 4
+	for _, v := range r {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+// Merge overlays the non-null fields of o onto a copy of r, widening as
+// needed. It implements record concatenation over the global-record layout:
+// two inputs whose attributes live at disjoint global indices merge into the
+// combined record.
+func (r Record) Merge(o Record) Record {
+	width := len(r)
+	if len(o) > width {
+		width = len(o)
+	}
+	c := make(Record, width)
+	copy(c, r)
+	for i, v := range o {
+		if !v.IsNull() {
+			c[i] = v
+		}
+	}
+	return c
+}
+
+// String renders the record for debugging.
+func (r Record) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// DataSet is a bag of records.
+type DataSet []Record
+
+// Clone deep-copies the data set.
+func (d DataSet) Clone() DataSet {
+	c := make(DataSet, len(d))
+	for i, r := range d {
+		c[i] = r.Clone()
+	}
+	return c
+}
+
+// Equal implements bag equality (Section 2.2, D1 ≡ D2): there exist
+// orderings of the two data sets under which records are pairwise equal.
+// It sorts canonical renderings of both sides, so it is insensitive to
+// record order.
+func (d DataSet) Equal(o DataSet) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	a := d.canonical()
+	b := o.canonical()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d DataSet) canonical() []string {
+	keys := make([]string, len(d))
+	for i, r := range d {
+		keys[i] = canonicalRecord(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// canonicalRecord renders a record such that Equal values render equally
+// (e.g. Int(2) and Float(2.0)).
+func canonicalRecord(r Record) string {
+	var b strings.Builder
+	for _, v := range r {
+		switch {
+		case v.IsNull():
+			b.WriteString("~;")
+		case v.isNumeric():
+			fmt.Fprintf(&b, "n%g;", v.AsFloat())
+		case v.kind == KindString:
+			fmt.Fprintf(&b, "s%q;", v.s)
+		default:
+			fmt.Fprintf(&b, "b%t;", v.b)
+		}
+	}
+	return b.String()
+}
+
+// TotalSize returns the wire size of all records.
+func (d DataSet) TotalSize() int {
+	n := 0
+	for _, r := range d {
+		n += r.EncodedSize()
+	}
+	return n
+}
+
+// SortBy sorts the data set in place by the given key fields.
+func (d DataSet) SortBy(fields []int) {
+	sort.SliceStable(d, func(i, j int) bool {
+		return d[i].Project(fields).Compare(d[j].Project(fields)) < 0
+	})
+}
+
+// GroupBy partitions the data set into key groups D_k by the given key
+// fields. Group order is deterministic (sorted by key).
+func (d DataSet) GroupBy(fields []int) []Group {
+	m := make(map[string]*Group)
+	var order []string
+	for _, r := range d {
+		k := r.Project(fields)
+		ck := canonicalRecord(k)
+		g, ok := m[ck]
+		if !ok {
+			g = &Group{Key: k}
+			m[ck] = g
+			order = append(order, ck)
+		}
+		g.Records = append(g.Records, r)
+	}
+	sort.Strings(order)
+	out := make([]Group, len(order))
+	for i, ck := range order {
+		out[i] = *m[ck]
+	}
+	return out
+}
+
+// Group is a key group: all records of a data set sharing a key value.
+type Group struct {
+	Key     Record
+	Records []Record
+}

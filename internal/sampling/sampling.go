@@ -1,0 +1,315 @@
+// Package sampling implements one of the paper's stated future-work items
+// (Section 9): "estimating the selectivity and execution cost of black box
+// operators". The paper's prototype relies on user-provided hints; this
+// package derives them empirically by running every UDF over a small sample
+// of its input — runtime profiling in the spirit the paper attributes to
+// Starfish (Section 8), applied per-operator.
+//
+// The profiler executes the flow's implemented order once, single-threaded,
+// over strided samples of the sources, and measures per operator:
+//
+//   - Selectivity — records emitted per UDF call;
+//   - CPUCostPerCall — wall time per call, in microseconds;
+//   - KeyCardinality — distinct keys observed, scaled to the full input.
+//
+// Estimates are written into the operators' Hints (optionally preserving
+// hints that are already set), after which the regular cost-based
+// optimization proceeds unchanged.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/tac"
+)
+
+// Options configure the profiling run.
+type Options struct {
+	// SampleSize is the maximum number of records drawn per source
+	// (default 1000).
+	SampleSize int
+	// KeepExisting preserves hints that are already non-zero.
+	KeepExisting bool
+	// MaxCrossPairs caps the pairs evaluated for Cross operators
+	// (default 100k) so sampling stays cheap on Cartesian products.
+	MaxCrossPairs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleSize <= 0 {
+		o.SampleSize = 1000
+	}
+	if o.MaxCrossPairs <= 0 {
+		o.MaxCrossPairs = 100_000
+	}
+	return o
+}
+
+// Measurement is the per-operator profiling result.
+type Measurement struct {
+	Op          *dataflow.Operator
+	Calls       int
+	InRecords   int
+	OutRecords  int
+	Duration    time.Duration
+	DistinctKey int // distinct key values observed (keyed operators)
+}
+
+// DeriveHints profiles the flow over sampled source data and fills in the
+// operators' cost hints. It returns the raw measurements for inspection.
+func DeriveHints(flow *dataflow.Flow, data map[string]record.DataSet, opts Options) ([]Measurement, error) {
+	opts = opts.withDefaults()
+	if err := flow.Validate(); err != nil {
+		return nil, err
+	}
+	p := &profiler{
+		data:   data,
+		opts:   opts,
+		interp: tac.NewInterp(),
+	}
+	if _, err := p.eval(flow.Sink); err != nil {
+		return nil, err
+	}
+	for i := range p.measurements {
+		m := &p.measurements[i]
+		applyHints(m, p.scale[m.Op.ID], opts.KeepExisting)
+	}
+	return p.measurements, nil
+}
+
+// applyHints converts a measurement into operator hints.
+func applyHints(m *Measurement, scale float64, keep bool) {
+	h := &m.Op.Hints
+	if m.Calls > 0 {
+		sel := float64(m.OutRecords) / float64(m.Calls)
+		if !keep || h.Selectivity == 0 {
+			h.Selectivity = sel
+		}
+		cost := float64(m.Duration.Microseconds()) / float64(m.Calls)
+		if cost < 0.1 {
+			cost = 0.1
+		}
+		if !keep || h.CPUCostPerCall == 0 {
+			h.CPUCostPerCall = cost
+		}
+	}
+	if m.DistinctKey > 0 && m.Op.Kind.IsKeyed() {
+		// Scale the observed distinct count linearly to the full input — a
+		// deliberately simple estimator; a production system would use an
+		// unbiased distinct-count estimator here.
+		if scale < 1 {
+			scale = 1
+		}
+		est := float64(m.DistinctKey) * scale
+		if !keep || h.KeyCardinality == 0 {
+			h.KeyCardinality = est
+		}
+	}
+}
+
+type profiler struct {
+	data         map[string]record.DataSet
+	opts         Options
+	interp       *tac.Interp
+	measurements []Measurement
+	// scale[opID] is fullInput/sampledInput for the operator's key-bearing
+	// input, used to extrapolate distinct counts.
+	scale map[int]float64
+}
+
+// eval executes the subtree rooted at op over the sampled data, recording
+// measurements as a side effect.
+func (p *profiler) eval(op *dataflow.Operator) (record.DataSet, error) {
+	if p.scale == nil {
+		p.scale = map[int]float64{}
+	}
+	switch op.Kind {
+	case dataflow.KindSource:
+		full, ok := p.data[op.Name]
+		if !ok {
+			return nil, fmt.Errorf("sampling: no data for source %q", op.Name)
+		}
+		return sample(full, p.opts.SampleSize), nil
+
+	case dataflow.KindSink:
+		return p.eval(op.Inputs[0])
+	}
+
+	inputs := make([]record.DataSet, len(op.Inputs))
+	for i, in := range op.Inputs {
+		d, err := p.eval(in)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = d
+	}
+
+	m := Measurement{Op: op}
+	for _, in := range inputs {
+		m.InRecords += len(in)
+	}
+	start := time.Now()
+	var out record.DataSet
+	var err error
+	switch op.Kind {
+	case dataflow.KindMap:
+		for _, r := range inputs[0] {
+			res, ierr := p.interp.InvokeMap(op.UDF, r)
+			if ierr != nil {
+				return nil, fmt.Errorf("sampling: %s: %w", op.Name, ierr)
+			}
+			m.Calls++
+			out = append(out, res...)
+		}
+
+	case dataflow.KindReduce:
+		groups := inputs[0].GroupBy(op.Keys[0])
+		m.DistinctKey = len(groups)
+		for _, g := range groups {
+			res, ierr := p.interp.InvokeReduce(op.UDF, g.Records)
+			if ierr != nil {
+				return nil, fmt.Errorf("sampling: %s: %w", op.Name, ierr)
+			}
+			m.Calls++
+			out = append(out, res...)
+		}
+
+	case dataflow.KindMatch:
+		out, err = p.evalMatch(op, inputs, &m)
+		if err != nil {
+			return nil, err
+		}
+
+	case dataflow.KindCross:
+		pairs := 0
+	crossLoop:
+		for _, l := range inputs[0] {
+			for _, r := range inputs[1] {
+				if pairs >= p.opts.MaxCrossPairs {
+					break crossLoop
+				}
+				pairs++
+				res, ierr := p.interp.InvokeBinary(op.UDF, l, r)
+				if ierr != nil {
+					return nil, fmt.Errorf("sampling: %s: %w", op.Name, ierr)
+				}
+				m.Calls++
+				out = append(out, res...)
+			}
+		}
+
+	case dataflow.KindCoGroup:
+		lG := inputs[0].GroupBy(op.Keys[0])
+		rG := inputs[1].GroupBy(op.Keys[1])
+		rByKey := map[string][]record.Record{}
+		for _, g := range rG {
+			rByKey[g.Key.String()] = g.Records
+		}
+		seen := map[string]bool{}
+		for _, g := range lG {
+			k := g.Key.String()
+			seen[k] = true
+			res, ierr := p.interp.InvokeCoGroup(op.UDF, g.Records, rByKey[k])
+			if ierr != nil {
+				return nil, fmt.Errorf("sampling: %s: %w", op.Name, ierr)
+			}
+			m.Calls++
+			out = append(out, res...)
+		}
+		for _, g := range rG {
+			if !seen[g.Key.String()] {
+				res, ierr := p.interp.InvokeCoGroup(op.UDF, nil, g.Records)
+				if ierr != nil {
+					return nil, fmt.Errorf("sampling: %s: %w", op.Name, ierr)
+				}
+				m.Calls++
+				out = append(out, res...)
+			}
+		}
+		m.DistinctKey = m.Calls
+
+	default:
+		return nil, fmt.Errorf("sampling: cannot profile %s", op.Kind)
+	}
+	m.Duration = time.Since(start)
+	m.OutRecords = len(out)
+	p.scale[op.ID] = p.scaleFor(op, m.InRecords)
+	p.measurements = append(p.measurements, m)
+	return out, nil
+}
+
+// evalMatch hash-joins the sampled inputs.
+func (p *profiler) evalMatch(op *dataflow.Operator, inputs []record.DataSet, m *Measurement) (record.DataSet, error) {
+	lKeys, rKeys := op.Keys[0], op.Keys[1]
+	table := map[uint64][]record.Record{}
+	for _, r := range inputs[1] {
+		table[r.Hash(rKeys)] = append(table[r.Hash(rKeys)], r)
+	}
+	distinct := map[uint64]bool{}
+	var out record.DataSet
+	for _, l := range inputs[0] {
+		h := l.Hash(lKeys)
+		distinct[h] = true
+		for _, r := range table[h] {
+			if !l.Project(lKeys).Equal(r.Project(rKeys)) {
+				continue
+			}
+			res, err := p.interp.InvokeBinary(op.UDF, l, r)
+			if err != nil {
+				return nil, fmt.Errorf("sampling: %s: %w", op.Name, err)
+			}
+			m.Calls++
+			out = append(out, res...)
+		}
+	}
+	m.DistinctKey = len(distinct)
+	return out, nil
+}
+
+// scaleFor estimates fullInput/sampledInput for distinct-count
+// extrapolation: the product of each source's sampling ratio along the
+// operator's input subtrees is approximated by the dominant source ratio.
+func (p *profiler) scaleFor(op *dataflow.Operator, sampledIn int) float64 {
+	full := p.fullInputSize(op)
+	if sampledIn == 0 || full == 0 {
+		return 1
+	}
+	return float64(full) / float64(sampledIn)
+}
+
+func (p *profiler) fullInputSize(op *dataflow.Operator) int {
+	n := 0
+	var rec func(o *dataflow.Operator)
+	rec = func(o *dataflow.Operator) {
+		if o.Kind == dataflow.KindSource {
+			n += len(p.data[o.Name])
+			return
+		}
+		for _, in := range o.Inputs {
+			rec(in)
+		}
+	}
+	for _, in := range op.Inputs {
+		rec(in)
+	}
+	return n
+}
+
+// sample draws up to n records uniformly with a fixed seed: deterministic
+// across runs, and — unlike strided sampling — free of aliasing with
+// periodic patterns in the data.
+func sample(d record.DataSet, n int) record.DataSet {
+	if len(d) <= n {
+		return d
+	}
+	rng := rand.New(rand.NewSource(1))
+	out := make(record.DataSet, 0, n)
+	for _, idx := range rng.Perm(len(d))[:n] {
+		out = append(out, d[idx])
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package sca implements the static code analysis of Section 5 of the
+// paper: a data-flow analysis over a UDF's three-address code that derives
+// the properties (read set, write set, emit cardinality bounds) the
+// optimizer needs to reorder black-box operators.
+//
+// Safety is guaranteed through conservatism (Section 5, "safety through
+// conservatism"): every property the analysis derives is a superset of the
+// true property for any execution over any input, so the reorderings it
+// licenses are a subset of the truly valid ones.
+package sca
+
+import (
+	"blackboxflow/internal/tac"
+)
+
+// ParamDef is the pseudo-position at which function parameters are defined.
+const ParamDef = -1
+
+// DefSet is a set of defining instruction positions (ParamDef for
+// parameters).
+type DefSet map[int]struct{}
+
+func (d DefSet) clone() DefSet {
+	c := make(DefSet, len(d))
+	for k := range d {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+func (d DefSet) equal(o DefSet) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for k := range d {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachingDefs holds, for every instruction, the definitions of every
+// variable that reach it (the USE-DEF side), and the inverse DEF-USE
+// relation: for every definition, the instructions that may use it.
+//
+// These are the two data structures the paper assumes its SCA framework
+// provides (Section 5: USE-DEF(l,$t) and DEF-USE(l,$t)).
+type ReachingDefs struct {
+	F *tac.Func
+	// In[i][v] = positions of the definitions of v reaching instruction i.
+	In []map[string]DefSet
+	// Uses[d] = positions of instructions that may use the value defined at
+	// d (d may be ParamDef only via UsesOfVar).
+	uses map[defKey][]int
+}
+
+type defKey struct {
+	pos int
+	v   string
+}
+
+// ComputeReachingDefs runs a standard forward may-analysis at instruction
+// granularity. Parameters are defined at pseudo-position ParamDef.
+func ComputeReachingDefs(f *tac.Func, g *tac.CFG) *ReachingDefs {
+	n := len(f.Body)
+	rd := &ReachingDefs{
+		F:    f,
+		In:   make([]map[string]DefSet, n),
+		uses: map[defKey][]int{},
+	}
+	out := make([]map[string]DefSet, n)
+	for i := 0; i < n; i++ {
+		rd.In[i] = map[string]DefSet{}
+		out[i] = map[string]DefSet{}
+	}
+	if n == 0 {
+		return rd
+	}
+
+	// Entry facts: parameters defined at ParamDef.
+	entry := map[string]DefSet{}
+	for _, p := range f.Params {
+		entry[p] = DefSet{ParamDef: {}}
+	}
+
+	transfer := func(i int, in map[string]DefSet) map[string]DefSet {
+		o := make(map[string]DefSet, len(in))
+		for v, ds := range in {
+			o[v] = ds
+		}
+		if d := f.Body[i].Defs(); d != "" {
+			o[d] = DefSet{i: {}}
+		}
+		return o
+	}
+	merge := func(dst map[string]DefSet, src map[string]DefSet) bool {
+		changed := false
+		for v, ds := range src {
+			cur, ok := dst[v]
+			if !ok {
+				dst[v] = ds.clone()
+				changed = true
+				continue
+			}
+			for d := range ds {
+				if _, ok := cur[d]; !ok {
+					cur[d] = struct{}{}
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+
+	// Worklist iteration to a fixpoint.
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	merge(rd.In[0], entry)
+	push(0)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		newOut := transfer(i, rd.In[i])
+		if mapsEqual(out[i], newOut) {
+			continue
+		}
+		out[i] = newOut
+		for _, s := range g.Succs[i] {
+			if merge(rd.In[s], newOut) {
+				push(s)
+			}
+		}
+	}
+
+	// Build DEF-USE from USE-DEF.
+	for i, in := range f.Body {
+		for _, v := range in.Uses() {
+			for d := range rd.In[i][v] {
+				k := defKey{d, v}
+				rd.uses[k] = append(rd.uses[k], i)
+			}
+		}
+	}
+	return rd
+}
+
+func mapsEqual(a, b map[string]DefSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, ds := range a {
+		if !ds.equal(b[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// UseDef returns the definitions of v reaching instruction pos
+// (USE-DEF(pos, v) in the paper's notation).
+func (rd *ReachingDefs) UseDef(pos int, v string) DefSet {
+	return rd.In[pos][v]
+}
+
+// DefUse returns the instructions that may use the definition of v at
+// position def (DEF-USE(def, v)).
+func (rd *ReachingDefs) DefUse(def int, v string) []int {
+	return rd.uses[defKey{def, v}]
+}

@@ -1,0 +1,472 @@
+package tac
+
+import (
+	"fmt"
+	"strings"
+
+	"blackboxflow/internal/record"
+)
+
+// DefaultStepLimit bounds the number of instructions a single UDF invocation
+// may execute, guarding against non-terminating user code.
+const DefaultStepLimit = 10_000_000
+
+// rtKind tags a runtime value.
+type rtKind uint8
+
+const (
+	rtScalar rtKind = iota
+	rtRecord
+	rtGroup
+)
+
+// rtVal is a runtime value: a scalar, a (mutable) record, or a key group.
+type rtVal struct {
+	kind rtKind
+	s    record.Value
+	rec  record.Record
+	grp  []record.Record
+}
+
+// Interp executes TAC functions. The zero value is not usable; construct
+// with NewInterp. An Interp is stateless across invocations and safe for
+// concurrent use by multiple goroutines.
+type Interp struct {
+	stepLimit int
+}
+
+// NewInterp returns an interpreter with the default step limit.
+func NewInterp() *Interp { return &Interp{stepLimit: DefaultStepLimit} }
+
+// WithStepLimit returns a copy of the interpreter with the given per-call
+// instruction budget.
+func (ip *Interp) WithStepLimit(n int) *Interp { return &Interp{stepLimit: n} }
+
+// frame is one invocation's variable store, indexed by the slots the
+// parser assigned. set[i] reports whether slot i holds a defined value.
+type frame struct {
+	vals []rtVal
+	set  []bool
+}
+
+func newFrame(f *Func) *frame {
+	n := f.NumSlots()
+	return &frame{vals: make([]rtVal, n), set: make([]bool, n)}
+}
+
+func (fr *frame) def(slot int, v rtVal) {
+	fr.vals[slot] = v
+	fr.set[slot] = true
+}
+
+// InvokeMap runs a map-kind UDF on one input record.
+func (ip *Interp) InvokeMap(f *Func, in record.Record) ([]record.Record, error) {
+	if f.Kind != KindMap {
+		return nil, fmt.Errorf("tac: %s is not a map function", f.Name)
+	}
+	fr := newFrame(f)
+	fr.def(0, rtVal{kind: rtRecord, rec: in})
+	return ip.run(f, fr)
+}
+
+// InvokeBinary runs a binary (Cross/Match) UDF on a pair of records.
+func (ip *Interp) InvokeBinary(f *Func, left, right record.Record) ([]record.Record, error) {
+	if f.Kind != KindBinary {
+		return nil, fmt.Errorf("tac: %s is not a binary function", f.Name)
+	}
+	fr := newFrame(f)
+	fr.def(0, rtVal{kind: rtRecord, rec: left})
+	fr.def(1, rtVal{kind: rtRecord, rec: right})
+	return ip.run(f, fr)
+}
+
+// InvokeReduce runs a reduce-kind UDF on one key group.
+func (ip *Interp) InvokeReduce(f *Func, group []record.Record) ([]record.Record, error) {
+	if f.Kind != KindReduce {
+		return nil, fmt.Errorf("tac: %s is not a reduce function", f.Name)
+	}
+	fr := newFrame(f)
+	fr.def(0, rtVal{kind: rtGroup, grp: group})
+	return ip.run(f, fr)
+}
+
+// InvokeCoGroup runs a cogroup-kind UDF on a pair of key groups (either may
+// be empty).
+func (ip *Interp) InvokeCoGroup(f *Func, left, right []record.Record) ([]record.Record, error) {
+	if f.Kind != KindCoGroup {
+		return nil, fmt.Errorf("tac: %s is not a cogroup function", f.Name)
+	}
+	fr := newFrame(f)
+	fr.def(0, rtVal{kind: rtGroup, grp: left})
+	fr.def(1, rtVal{kind: rtGroup, grp: right})
+	return ip.run(f, fr)
+}
+
+func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
+	var out []record.Record
+	pc := 0
+	steps := 0
+	body := f.Body
+	for pc < len(body) {
+		steps++
+		if steps > ip.stepLimit {
+			return nil, fmt.Errorf("tac: %s exceeded step limit %d", f.Name, ip.stepLimit)
+		}
+		in := body[pc]
+		switch in.Op {
+		case OpReturn:
+			return out, nil
+
+		case OpConst:
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: in.A.Imm})
+
+		case OpAssign:
+			v, err := fr.scalar(in.A, in.aSlot, in)
+			if err != nil {
+				return nil, err
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
+
+		case OpBin:
+			a, err := fr.scalar(in.A, in.aSlot, in)
+			if err != nil {
+				return nil, err
+			}
+			b, err := fr.scalar(in.B, in.bSlot, in)
+			if err != nil {
+				return nil, err
+			}
+			v, err := evalBin(in.Bin, a, b)
+			if err != nil {
+				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
+
+		case OpUn:
+			a, err := fr.scalar(in.A, in.aSlot, in)
+			if err != nil {
+				return nil, err
+			}
+			v, err := evalUn(in.Un, a)
+			if err != nil {
+				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
+
+		case OpGetField:
+			r, err := fr.rec(in.recSlot, in.Rec, in)
+			if err != nil {
+				return nil, err
+			}
+			idx := in.Field
+			if in.FieldVar {
+				iv, err := fr.scalar(in.A, in.aSlot, in)
+				if err != nil {
+					return nil, err
+				}
+				idx = int(iv.AsInt())
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: r.Field(idx)})
+
+		case OpSetField:
+			if !fr.set[in.recSlot] || fr.vals[in.recSlot].kind != rtRecord {
+				return nil, fmt.Errorf("tac: %s instr %d: %s is not a record", f.Name, in.pos, in.Rec)
+			}
+			v, err := fr.scalar(in.A, in.aSlot, in)
+			if err != nil {
+				return nil, err
+			}
+			rv := fr.vals[in.recSlot]
+			if in.Field >= len(rv.rec) {
+				rv.rec = rv.rec.WithField(in.Field, v)
+			} else {
+				rv.rec = rv.rec.Clone()
+				rv.rec.SetField(in.Field, v)
+			}
+			fr.vals[in.recSlot] = rv
+
+		case OpNewRec:
+			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: record.Record{}})
+
+		case OpCopyRec:
+			r, err := fr.rec(in.recSlot, in.Rec, in)
+			if err != nil {
+				return nil, err
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: r.Clone()})
+
+		case OpConcatRec:
+			r1, err := fr.rec(in.recSlot, in.Rec, in)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := fr.rec(in.rec2Slot, in.Rec2, in)
+			if err != nil {
+				return nil, err
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: r1.Merge(r2)})
+
+		case OpEmit:
+			r, err := fr.rec(in.recSlot, in.Rec, in)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r.Clone())
+
+		case OpGoto:
+			pc = in.target
+			continue
+
+		case OpIf:
+			take, err := fr.cond(in)
+			if err != nil {
+				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+			}
+			if take {
+				pc = in.target
+				continue
+			}
+
+		case OpGroupSize:
+			g, err := fr.grp(in.groupSlot, in.Group, in)
+			if err != nil {
+				return nil, err
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: record.Int(int64(len(g)))})
+
+		case OpGroupGet:
+			g, err := fr.grp(in.groupSlot, in.Group, in)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := fr.scalar(in.A, in.aSlot, in)
+			if err != nil {
+				return nil, err
+			}
+			i := int(iv.AsInt())
+			if i < 0 || i >= len(g) {
+				return nil, fmt.Errorf("tac: %s instr %d: groupget index %d out of range [0,%d)", f.Name, in.pos, i, len(g))
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: g[i]})
+
+		case OpAgg:
+			g, err := fr.grp(in.groupSlot, in.Group, in)
+			if err != nil {
+				return nil, err
+			}
+			v, err := evalAgg(in.Agg, g, in.Field)
+			if err != nil {
+				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+			}
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
+
+		default:
+			return nil, fmt.Errorf("tac: %s instr %d: invalid opcode", f.Name, in.pos)
+		}
+		pc++
+	}
+	return out, nil
+}
+
+// scalar resolves an operand: an immediate, or a defined scalar slot.
+func (fr *frame) scalar(o Operand, slot int, in *Instr) (record.Value, error) {
+	if !o.IsVar() {
+		return o.Imm, nil
+	}
+	if slot < 0 || !fr.set[slot] {
+		return record.Null, fmt.Errorf("tac: instr %d: use of undefined variable %s", in.pos, o.Var)
+	}
+	v := fr.vals[slot]
+	if v.kind != rtScalar {
+		return record.Null, fmt.Errorf("tac: instr %d: %s is not a scalar", in.pos, o.Var)
+	}
+	return v.s, nil
+}
+
+func (fr *frame) rec(slot int, name string, in *Instr) (record.Record, error) {
+	if slot < 0 || !fr.set[slot] {
+		return nil, fmt.Errorf("tac: instr %d: use of undefined record %s", in.pos, name)
+	}
+	v := fr.vals[slot]
+	if v.kind != rtRecord {
+		return nil, fmt.Errorf("tac: instr %d: %s is not a record", in.pos, name)
+	}
+	return v.rec, nil
+}
+
+func (fr *frame) grp(slot int, name string, in *Instr) ([]record.Record, error) {
+	if slot < 0 || !fr.set[slot] {
+		return nil, fmt.Errorf("tac: instr %d: use of undefined group %s", in.pos, name)
+	}
+	v := fr.vals[slot]
+	if v.kind != rtGroup {
+		return nil, fmt.Errorf("tac: instr %d: %s is not a group", in.pos, name)
+	}
+	return v.grp, nil
+}
+
+func (fr *frame) cond(in *Instr) (bool, error) {
+	a, err := fr.scalar(in.A, in.aSlot, in)
+	if err != nil {
+		return false, err
+	}
+	if in.Cmp == BinInvalid { // truthiness test: if $a goto L
+		return a.AsBool(), nil
+	}
+	b, err := fr.scalar(in.B, in.bSlot, in)
+	if err != nil {
+		return false, err
+	}
+	v, err := evalBin(in.Cmp, a, b)
+	if err != nil {
+		return false, err
+	}
+	return v.AsBool(), nil
+}
+
+func evalBin(op BinOp, a, b record.Value) (record.Value, error) {
+	switch op {
+	case BinAdd, BinSub, BinMul, BinDiv, BinMod:
+		return evalArith(op, a, b)
+	case BinAnd:
+		return record.Bool(a.AsBool() && b.AsBool()), nil
+	case BinOr:
+		return record.Bool(a.AsBool() || b.AsBool()), nil
+	case BinEq:
+		return record.Bool(a.Equal(b)), nil
+	case BinNe:
+		return record.Bool(!a.Equal(b)), nil
+	case BinLt:
+		return record.Bool(a.Compare(b) < 0), nil
+	case BinLe:
+		return record.Bool(a.Compare(b) <= 0), nil
+	case BinGt:
+		return record.Bool(a.Compare(b) > 0), nil
+	case BinGe:
+		return record.Bool(a.Compare(b) >= 0), nil
+	case BinConcat:
+		return record.String(a.AsString() + b.AsString()), nil
+	case BinContains:
+		return record.Bool(strings.Contains(a.AsString(), b.AsString())), nil
+	default:
+		return record.Null, fmt.Errorf("invalid binary op")
+	}
+}
+
+func evalArith(op BinOp, a, b record.Value) (record.Value, error) {
+	if a.Kind() == record.KindInt && b.Kind() == record.KindInt {
+		x, y := a.AsInt(), b.AsInt()
+		switch op {
+		case BinAdd:
+			return record.Int(x + y), nil
+		case BinSub:
+			return record.Int(x - y), nil
+		case BinMul:
+			return record.Int(x * y), nil
+		case BinDiv:
+			if y == 0 {
+				return record.Null, fmt.Errorf("integer division by zero")
+			}
+			return record.Int(x / y), nil
+		case BinMod:
+			if y == 0 {
+				return record.Null, fmt.Errorf("integer modulo by zero")
+			}
+			return record.Int(x % y), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case BinAdd:
+		return record.Float(x + y), nil
+	case BinSub:
+		return record.Float(x - y), nil
+	case BinMul:
+		return record.Float(x * y), nil
+	case BinDiv:
+		if y == 0 {
+			return record.Null, fmt.Errorf("float division by zero")
+		}
+		return record.Float(x / y), nil
+	case BinMod:
+		if y == 0 {
+			return record.Null, fmt.Errorf("float modulo by zero")
+		}
+		return record.Float(float64(int64(x) % int64(y))), nil
+	}
+	return record.Null, fmt.Errorf("invalid arithmetic op")
+}
+
+func evalUn(op UnOp, a record.Value) (record.Value, error) {
+	switch op {
+	case UnNeg:
+		if a.Kind() == record.KindInt {
+			return record.Int(-a.AsInt()), nil
+		}
+		return record.Float(-a.AsFloat()), nil
+	case UnNot:
+		return record.Bool(!a.AsBool()), nil
+	case UnAbs:
+		if a.Kind() == record.KindInt {
+			v := a.AsInt()
+			if v < 0 {
+				v = -v
+			}
+			return record.Int(v), nil
+		}
+		v := a.AsFloat()
+		if v < 0 {
+			v = -v
+		}
+		return record.Float(v), nil
+	case UnLen:
+		return record.Int(int64(len(a.AsString()))), nil
+	default:
+		return record.Null, fmt.Errorf("invalid unary op")
+	}
+}
+
+func evalAgg(op AggOp, g []record.Record, field int) (record.Value, error) {
+	if op == AggCount {
+		return record.Int(int64(len(g))), nil
+	}
+	if len(g) == 0 {
+		return record.Null, nil
+	}
+	allInt := true
+	for _, r := range g {
+		if r.Field(field).Kind() != record.KindInt {
+			allInt = false
+			break
+		}
+	}
+	switch op {
+	case AggSum, AggAvg:
+		if allInt && op == AggSum {
+			var s int64
+			for _, r := range g {
+				s += r.Field(field).AsInt()
+			}
+			return record.Int(s), nil
+		}
+		var s float64
+		for _, r := range g {
+			s += r.Field(field).AsFloat()
+		}
+		if op == AggAvg {
+			return record.Float(s / float64(len(g))), nil
+		}
+		return record.Float(s), nil
+	case AggMin, AggMax:
+		best := g[0].Field(field)
+		for _, r := range g[1:] {
+			v := r.Field(field)
+			if (op == AggMin && v.Compare(best) < 0) || (op == AggMax && v.Compare(best) > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return record.Null, fmt.Errorf("invalid aggregate op")
+	}
+}

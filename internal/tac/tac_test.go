@@ -1,0 +1,600 @@
+package tac
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"blackboxflow/internal/record"
+)
+
+// paperExample is the three-function example of Section 3 of the paper:
+// f1 replaces B with |B|, f2 filters records with A < 0, f3 replaces A with
+// A + B. Fields: A = 0, B = 1.
+const paperExample = `
+# f1: B := |B|
+func map f1($ir) {
+	$b := getfield $ir 1
+	$or := copyrec $ir
+	if $b >= 0 goto L16
+	$b := neg $b
+	setfield $or 1 $b
+L16: emit $or
+	return
+}
+
+# f2: filter A < 0
+func map f2($ir) {
+	$a := getfield $ir 0
+	if $a < 0 goto L25
+	$or := copyrec $ir
+	emit $or
+L25: return
+}
+
+# f3: A := A + B
+func map f3($ir) {
+	$a := getfield $ir 0
+	$b := getfield $ir 1
+	$sum := $a + $b
+	$or := copyrec $ir
+	setfield $or 0 $sum
+	emit $or
+	return
+}
+`
+
+func mustFunc(t *testing.T, p *Program, name string) *Func {
+	t.Helper()
+	f, ok := p.Lookup(name)
+	if !ok {
+		t.Fatalf("function %q not found", name)
+	}
+	return f
+}
+
+func TestParsePaperExample(t *testing.T) {
+	p, err := Parse(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Order) != 3 {
+		t.Fatalf("parsed %d funcs, want 3", len(p.Order))
+	}
+	f1 := mustFunc(t, p, "f1")
+	if f1.Kind != KindMap || len(f1.Params) != 1 || f1.Params[0] != "$ir" {
+		t.Errorf("f1 header wrong: %+v", f1)
+	}
+	// Label resolution.
+	if pos, ok := f1.LabelPos("L16"); !ok || f1.Body[pos].Op != OpEmit {
+		t.Errorf("label L16 must point at emit")
+	}
+}
+
+// TestPaperTraces reproduces the record-level traces of Section 3.
+func TestPaperTraces(t *testing.T) {
+	p := MustParse(paperExample)
+	ip := NewInterp()
+	f1, f2, f3 := mustFunc(t, p, "f1"), mustFunc(t, p, "f2"), mustFunc(t, p, "f3")
+
+	run := func(f *Func, in record.Record) []record.Record {
+		out, err := ip.InvokeMap(f, in)
+		if err != nil {
+			t.Fatalf("%s(%v): %v", f.Name, in, err)
+		}
+		return out
+	}
+
+	// i = <2,-3>: f1 -> <2,3>, f2 -> <2,3>, f3 -> <5,3>
+	i := record.Record{record.Int(2), record.Int(-3)}
+	o1 := run(f1, i)
+	if len(o1) != 1 || !o1[0].Equal(record.Record{record.Int(2), record.Int(3)}) {
+		t.Fatalf("f1(<2,-3>) = %v", o1)
+	}
+	o2 := run(f2, o1[0])
+	if len(o2) != 1 || !o2[0].Equal(o1[0]) {
+		t.Fatalf("f2(<2,3>) = %v", o2)
+	}
+	o3 := run(f3, o2[0])
+	if len(o3) != 1 || !o3[0].Equal(record.Record{record.Int(5), record.Int(3)}) {
+		t.Fatalf("f3(<2,3>) = %v", o3)
+	}
+
+	// i' = <-2,-3>: f2 filters.
+	iPrime := record.Record{record.Int(-2), record.Int(-3)}
+	o1 = run(f1, iPrime)
+	if len(o1) != 1 || !o1[0].Equal(record.Record{record.Int(-2), record.Int(3)}) {
+		t.Fatalf("f1(<-2,-3>) = %v", o1)
+	}
+	if out := run(f2, o1[0]); len(out) != 0 {
+		t.Fatalf("f2(<-2,3>) = %v, want empty", out)
+	}
+
+	// Reordered f2 before f1 gives the same final output (Section 3).
+	o := run(f2, i)
+	if len(o) != 1 {
+		t.Fatal("f2 must pass <2,-3>")
+	}
+	o = run(f1, o[0])
+	o = run(f3, o[0])
+	if len(o) != 1 || !o[0].Equal(record.Record{record.Int(5), record.Int(3)}) {
+		t.Fatalf("reordered plan output = %v", o)
+	}
+
+	// f3 before f1 changes the result: <2,-3> -> f3 -> <-1,-3> -> f1 -> <-1,3>.
+	o = run(f3, i)
+	if len(o) != 1 || !o[0].Equal(record.Record{record.Int(-1), record.Int(-3)}) {
+		t.Fatalf("f3(<2,-3>) = %v", o)
+	}
+	o = run(f1, o[0])
+	if len(o) != 1 || !o[0].Equal(record.Record{record.Int(-1), record.Int(3)}) {
+		t.Fatalf("f1(f3(<2,-3>)) = %v", o)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := MustParse(paperExample)
+	text := p.String()
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if p2.String() != text {
+		t.Errorf("round trip not stable:\n-- first --\n%s\n-- second --\n%s", text, p2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"undefined label", "func map f($ir) {\n goto NOPE \n}", "undefined label"},
+		{"nested func", "func map f($ir) {\nfunc map g($ir) {\n}\n}", "nested func"},
+		{"dup func", "func map f($ir) {\n}\nfunc map f($ir) {\n}", "duplicate function"},
+		{"bad kind", "func widget f($ir) {\n}", "unknown func kind"},
+		{"param count", "func map f($a, $b) {\n}", "needs 1 params"},
+		{"setfield on param", "func map f($ir) {\n setfield $ir 0 1 \n}", "inputs are immutable"},
+		{"group op in map", "func map f($ir) {\n $n := groupsize $ir \n}", "group instruction in map"},
+		{"kind confusion", "func map f($ir) {\n $x := getfield $ir 0\n emit $x \n}", "used both as"},
+		{"dynamic setfield", "func map f($ir) {\n $or := copyrec $ir\n setfield $or $x 1 \n}", "static integer"},
+		{"unterminated", "func map f($ir) {\n return", "unterminated"},
+		{"empty", "  \n# nothing\n", "no functions"},
+		{"bad imm", "func map f($ir) {\n $x := const 12abc \n}", "bad immediate"},
+		{"unterminated string", `func map f($ir) {` + "\n" + ` $x := const "oops` + "\n}", "unterminated string"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Parse error = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestImplicitReturnAppended(t *testing.T) {
+	p := MustParse("func map f($ir) {\n $or := copyrec $ir\n emit $or\n}")
+	f := mustFunc(t, p, "f")
+	if f.Body[len(f.Body)-1].Op != OpReturn {
+		t.Error("missing implied return")
+	}
+}
+
+func TestReduceAggregates(t *testing.T) {
+	src := `
+func reduce sumB($g) {
+	$first := groupget $g 0
+	$or := copyrec $first
+	$s := agg sum $g 1
+	setfield $or 2 $s
+	emit $or
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "sumB")
+	g := []record.Record{
+		{record.Int(1), record.Int(10)},
+		{record.Int(1), record.Int(32)},
+	}
+	out, err := NewInterp().InvokeReduce(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := record.Record{record.Int(1), record.Int(10), record.Int(42)}
+	if len(out) != 1 || !out[0].Equal(want) {
+		t.Fatalf("reduce out = %v, want %v", out, want)
+	}
+}
+
+func TestReduceLoopEmitAll(t *testing.T) {
+	// Emits every record of the group — the clickstream "filter buy
+	// sessions" shape.
+	src := `
+func reduce emitAll($g) {
+	$n := groupsize $g
+	$i := const 0
+LOOP: if $i >= $n goto DONE
+	$r := groupget $g $i
+	$or := copyrec $r
+	emit $or
+	$i := $i + 1
+	goto LOOP
+DONE: return
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "emitAll")
+	g := []record.Record{{record.Int(1)}, {record.Int(2)}, {record.Int(3)}}
+	out, err := NewInterp().InvokeReduce(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("emitted %d records, want 3", len(out))
+	}
+}
+
+func TestBinaryConcat(t *testing.T) {
+	src := `
+func binary join($l, $r) {
+	$o := concat $l $r
+	emit $o
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "join")
+	l := record.Record{record.Int(1), record.Null}
+	r := record.Record{record.Null, record.String("x")}
+	out, err := NewInterp().InvokeBinary(f, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := record.Record{record.Int(1), record.String("x")}
+	if len(out) != 1 || !out[0].Equal(want) {
+		t.Fatalf("join out = %v, want %v", out, want)
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	src := `
+func cogroup cg($g1, $g2) {
+	$n1 := groupsize $g1
+	$n2 := groupsize $g2
+	if $n1 == 0 goto SKIP
+	if $n2 == 0 goto SKIP
+	$r := groupget $g1 0
+	$or := copyrec $r
+	setfield $or 3 $n2
+	emit $or
+SKIP: return
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "cg")
+	g1 := []record.Record{{record.Int(1), record.Int(2)}}
+	g2 := []record.Record{{record.Int(9)}, {record.Int(8)}}
+	out, err := NewInterp().InvokeCoGroup(f, g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Field(3).AsInt() != 2 {
+		t.Fatalf("cogroup out = %v", out)
+	}
+	// Empty side is skipped.
+	out, err = NewInterp().InvokeCoGroup(f, g1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("cogroup with empty side = %v, want none", out)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `
+func map spin($ir) {
+L: goto L
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "spin")
+	_, err := NewInterp().WithStepLimit(1000).InvokeMap(f, record.Record{})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"div by zero", "func map f($ir) {\n $x := 1 / 0\n}", "division by zero"},
+		{"mod by zero", "func map f($ir) {\n $x := 1 % 0\n}", "modulo by zero"},
+		{"undefined var", "func map f($ir) {\n $x := $nope + 1\n}", "undefined variable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := MustParse(c.src)
+			f := mustFunc(t, p, "f")
+			_, err := NewInterp().InvokeMap(f, record.Record{record.Int(1)})
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestGroupGetOutOfRange(t *testing.T) {
+	p := MustParse("func reduce f($g) {\n $r := groupget $g 5\n emit $r\n}")
+	f := mustFunc(t, p, "f")
+	_, err := NewInterp().InvokeReduce(f, []record.Record{{record.Int(1)}})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out of range", err)
+	}
+}
+
+func TestEmitSnapshotsRecord(t *testing.T) {
+	// A record mutated after emit must not retroactively change the
+	// already-emitted output.
+	src := `
+func map f($ir) {
+	$or := copyrec $ir
+	emit $or
+	setfield $or 0 99
+	emit $or
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "f")
+	out, err := NewInterp().InvokeMap(f, record.Record{record.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Field(0).AsInt() != 1 || out[1].Field(0).AsInt() != 99 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInputImmutableAcrossInvocations(t *testing.T) {
+	src := `
+func map f($ir) {
+	$or := copyrec $ir
+	setfield $or 0 7
+	emit $or
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "f")
+	in := record.Record{record.Int(1)}
+	if _, err := NewInterp().InvokeMap(f, in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Field(0).AsInt() != 1 {
+		t.Fatal("input record was mutated")
+	}
+}
+
+func TestDynamicFieldAccess(t *testing.T) {
+	src := `
+func map f($ir) {
+	$n := getfield $ir 0
+	$v := getfield $ir $n
+	$or := copyrec $ir
+	setfield $or 0 $v
+	emit $or
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "f")
+	out, err := NewInterp().InvokeMap(f, record.Record{record.Int(2), record.Int(7), record.Int(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Field(0).AsInt() != 9 {
+		t.Fatalf("dynamic access out = %v", out)
+	}
+	// The parser must mark it as dynamic.
+	if !f.Body[1].FieldVar {
+		t.Error("second getfield should be dynamic")
+	}
+}
+
+func TestCFGStructure(t *testing.T) {
+	p := MustParse(paperExample)
+	f2 := mustFunc(t, p, "f2")
+	g := BuildCFG(f2)
+	// instr 0: getfield; 1: if -> {L25, 2}; 2: copyrec; 3: emit; 4: return(L25)
+	if len(g.Succs[1]) != 2 {
+		t.Fatalf("if should have 2 successors, got %v", g.Succs[1])
+	}
+	if g.HasCycle() {
+		t.Error("f2 has no cycle")
+	}
+	loop := MustParse("func map f($ir) {\nL: goto L\n}")
+	lf := mustFunc(t, loop, "f")
+	if !BuildCFG(lf).HasCycle() {
+		t.Error("self loop must be a cycle")
+	}
+}
+
+func TestCFGSCCs(t *testing.T) {
+	src := `
+func reduce f($g) {
+	$n := groupsize $g
+	$i := const 0
+LOOP: if $i >= $n goto DONE
+	$i := $i + 1
+	goto LOOP
+DONE: return
+}
+`
+	p := MustParse(src)
+	f := mustFunc(t, p, "f")
+	g := BuildCFG(f)
+	if !g.HasCycle() {
+		t.Fatal("loop not detected")
+	}
+	var maxSCC int
+	for _, scc := range g.SCCs() {
+		if len(scc) > maxSCC {
+			maxSCC = len(scc)
+		}
+	}
+	if maxSCC < 3 {
+		t.Errorf("loop SCC size = %d, want >= 3", maxSCC)
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	p := MustParse(paperExample)
+	f1 := mustFunc(t, p, "f1")
+	// $b := getfield $ir 1
+	in := f1.Body[0]
+	if in.Defs() != "$b" {
+		t.Errorf("Defs = %q", in.Defs())
+	}
+	uses := in.Uses()
+	if len(uses) != 1 || uses[0] != "$ir" {
+		t.Errorf("Uses = %v", uses)
+	}
+	// setfield $or 1 $b
+	sf := f1.Body[4]
+	if sf.Op != OpSetField {
+		t.Fatalf("instr 4 is %v", sf)
+	}
+	if sf.Defs() != "" {
+		t.Error("setfield defines nothing")
+	}
+	got := sf.Uses()
+	if len(got) != 2 || got[0] != "$or" || got[1] != "$b" {
+		t.Errorf("setfield uses = %v", got)
+	}
+}
+
+func TestEvalBinOps(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		a, b record.Value
+		want record.Value
+	}{
+		{BinAdd, record.Int(2), record.Int(3), record.Int(5)},
+		{BinAdd, record.Float(1.5), record.Int(1), record.Float(2.5)},
+		{BinSub, record.Int(2), record.Int(3), record.Int(-1)},
+		{BinMul, record.Int(4), record.Int(3), record.Int(12)},
+		{BinDiv, record.Int(7), record.Int(2), record.Int(3)},
+		{BinDiv, record.Float(7), record.Int(2), record.Float(3.5)},
+		{BinMod, record.Int(7), record.Int(3), record.Int(1)},
+		{BinEq, record.Int(2), record.Float(2), record.Bool(true)},
+		{BinNe, record.Int(2), record.Int(2), record.Bool(false)},
+		{BinLt, record.Int(1), record.Int(2), record.Bool(true)},
+		{BinGe, record.Int(2), record.Int(2), record.Bool(true)},
+		{BinAnd, record.Bool(true), record.Int(0), record.Bool(false)},
+		{BinOr, record.Bool(false), record.Int(1), record.Bool(true)},
+		{BinConcat, record.String("a"), record.String("b"), record.String("ab")},
+		{BinContains, record.String("gene BRCA1 found"), record.String("BRCA1"), record.Bool(true)},
+		{BinContains, record.String("nothing"), record.String("BRCA1"), record.Bool(false)},
+	}
+	for _, c := range cases {
+		got, err := evalBin(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("%v: %v", c.op, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalUnOps(t *testing.T) {
+	if v, _ := evalUn(UnNeg, record.Int(3)); !v.Equal(record.Int(-3)) {
+		t.Error("neg int")
+	}
+	if v, _ := evalUn(UnNeg, record.Float(2.5)); !v.Equal(record.Float(-2.5)) {
+		t.Error("neg float")
+	}
+	if v, _ := evalUn(UnAbs, record.Int(-3)); !v.Equal(record.Int(3)) {
+		t.Error("abs")
+	}
+	if v, _ := evalUn(UnNot, record.Bool(false)); !v.AsBool() {
+		t.Error("not")
+	}
+	if v, _ := evalUn(UnLen, record.String("abcd")); v.AsInt() != 4 {
+		t.Error("len")
+	}
+}
+
+func TestEvalAggOps(t *testing.T) {
+	g := []record.Record{
+		{record.Int(1), record.Int(5)},
+		{record.Int(1), record.Int(3)},
+		{record.Int(1), record.Int(8)},
+	}
+	check := func(op AggOp, want record.Value) {
+		t.Helper()
+		got, err := evalAgg(op, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v = %v, want %v", op, got, want)
+		}
+	}
+	check(AggSum, record.Int(16))
+	check(AggCount, record.Int(3))
+	check(AggMin, record.Int(3))
+	check(AggMax, record.Int(8))
+	check(AggAvg, record.Float(16.0/3.0))
+	if v, _ := evalAgg(AggSum, nil, 0); !v.IsNull() {
+		t.Error("sum of empty group should be Null")
+	}
+	if v, _ := evalAgg(AggCount, nil, 0); v.AsInt() != 0 {
+		t.Error("count of empty group should be 0")
+	}
+}
+
+// Property: abs is idempotent and non-negative over the interpreter.
+func TestQuickAbsProperty(t *testing.T) {
+	p := MustParse(`
+func map f($ir) {
+	$v := getfield $ir 0
+	$a := abs $v
+	$or := copyrec $ir
+	setfield $or 0 $a
+	emit $or
+}
+`)
+	f := mustFunc(t, p, "f")
+	ip := NewInterp()
+	prop := func(x int32) bool {
+		out, err := ip.InvokeMap(f, record.Record{record.Int(int64(x))})
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		v := out[0].Field(0).AsInt()
+		if v < 0 {
+			return false
+		}
+		out2, err := ip.InvokeMap(f, out[0])
+		return err == nil && out2[0].Field(0).AsInt() == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the interpreter's arithmetic matches Go's on int64 add/sub/mul.
+func TestQuickArithmeticMatchesGo(t *testing.T) {
+	prop := func(a, b int32) bool {
+		x, y := record.Int(int64(a)), record.Int(int64(b))
+		add, _ := evalBin(BinAdd, x, y)
+		sub, _ := evalBin(BinSub, x, y)
+		mul, _ := evalBin(BinMul, x, y)
+		return add.AsInt() == int64(a)+int64(b) &&
+			sub.AsInt() == int64(a)-int64(b) &&
+			mul.AsInt() == int64(a)*int64(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package tac
+
+import "fmt"
+
+// Validate checks the structural well-formedness of a function:
+//
+//   - every jump target is a defined label;
+//   - group instructions appear only in key-at-a-time functions and
+//     reference group parameters;
+//   - input parameters are immutable (no setfield on a parameter) — the
+//     record API of the paper only mutates output records created by one of
+//     the constructors;
+//   - record/group variables are not used as scalars and vice versa (a
+//     shallow, flow-insensitive kind check).
+func Validate(f *Func) error {
+	isGroupParam := map[string]bool{}
+	isRecParam := map[string]bool{}
+	switch f.Kind {
+	case KindReduce, KindCoGroup:
+		for _, p := range f.Params {
+			isGroupParam[p] = true
+		}
+	default:
+		for _, p := range f.Params {
+			isRecParam[p] = true
+		}
+	}
+
+	// Flow-insensitive variable kinds: scalar, record, group.
+	kinds := map[string]string{}
+	for p := range isGroupParam {
+		kinds[p] = "group"
+	}
+	for p := range isRecParam {
+		kinds[p] = "record"
+	}
+	setKind := func(v, k string, pos int) error {
+		if v == "" {
+			return nil
+		}
+		if prev, ok := kinds[v]; ok && prev != k {
+			return fmt.Errorf("instr %d: variable %s used both as %s and %s", pos, v, prev, k)
+		}
+		kinds[v] = k
+		return nil
+	}
+
+	for _, in := range f.Body {
+		switch in.Op {
+		case OpGoto, OpIf:
+			if _, ok := f.labelIndex[in.Target]; !ok {
+				return fmt.Errorf("instr %d: undefined label %q", in.pos, in.Target)
+			}
+		case OpSetField:
+			if isRecParam[in.Rec] || isGroupParam[in.Rec] {
+				return fmt.Errorf("instr %d: setfield on input parameter %s (inputs are immutable)", in.pos, in.Rec)
+			}
+		case OpGroupSize, OpGroupGet, OpAgg:
+			if f.Kind != KindReduce && f.Kind != KindCoGroup {
+				return fmt.Errorf("instr %d: group instruction in %s function", in.pos, f.Kind)
+			}
+			if !isGroupParam[in.Group] {
+				return fmt.Errorf("instr %d: %s is not a group parameter", in.pos, in.Group)
+			}
+		case OpGetField, OpCopyRec, OpEmit:
+			if isGroupParam[in.Rec] {
+				return fmt.Errorf("instr %d: group %s used as a record", in.pos, in.Rec)
+			}
+		case OpConcatRec:
+			if isGroupParam[in.Rec] || isGroupParam[in.Rec2] {
+				return fmt.Errorf("instr %d: group used as a record in concat", in.pos)
+			}
+		}
+
+		// Kind propagation.
+		var err error
+		switch in.Op {
+		case OpNewRec, OpCopyRec, OpConcatRec:
+			err = setKind(in.Dst, "record", in.pos)
+		case OpGroupGet:
+			err = setKind(in.Dst, "record", in.pos)
+		case OpConst, OpAssign, OpBin, OpUn, OpGetField, OpGroupSize, OpAgg:
+			err = setKind(in.Dst, "scalar", in.pos)
+		}
+		if err != nil {
+			return err
+		}
+		switch in.Op {
+		case OpGetField, OpSetField, OpCopyRec, OpEmit:
+			if err := setKind(in.Rec, "record", in.pos); err != nil {
+				return err
+			}
+		case OpConcatRec:
+			if err := setKind(in.Rec, "record", in.pos); err != nil {
+				return err
+			}
+			if err := setKind(in.Rec2, "record", in.pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package clickstream
+
+import (
+	"testing"
+
+	"blackboxflow/internal/engine"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+)
+
+func TestBuildValidates(t *testing.T) {
+	for _, mode := range []Mode{ModeSCA, ModeManual} {
+		task, err := Build(mode, DefaultGen())
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if err := task.Flow.Validate(); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+// TestTable1ClickstreamRow reproduces the paper's Table 1 clickstream row:
+// manual annotations enumerate 4 orders, static code analysis 3 (75%) —
+// the dynamic profile-field access in the user-info UDF forces SCA to
+// assume the UDF reads everything, suppressing the join-join rotation.
+func TestTable1ClickstreamRow(t *testing.T) {
+	g := DefaultGen()
+	counts := map[Mode]int{}
+	plans := map[Mode][]string{}
+	for _, mode := range []Mode{ModeSCA, ModeManual} {
+		task, err := Build(mode, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := optimizer.FromFlow(task.Flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alts := optimizer.NewEnumerator().Enumerate(tree)
+		counts[mode] = len(alts)
+		for _, a := range alts {
+			plans[mode] = append(plans[mode], a.String())
+		}
+	}
+	if counts[ModeManual] != 4 {
+		t.Errorf("manual plans = %d, want 4\n%v", counts[ModeManual], plans[ModeManual])
+	}
+	if counts[ModeSCA] != 3 {
+		t.Errorf("SCA plans = %d, want 3\n%v", counts[ModeSCA], plans[ModeSCA])
+	}
+	// SCA's plans must be a subset of the manual plans (conservatism).
+	manualSet := map[string]bool{}
+	for _, p := range plans[ModeManual] {
+		manualSet[p] = true
+	}
+	for _, p := range plans[ModeSCA] {
+		if !manualSet[p] {
+			t.Errorf("SCA plan %s not in manual plan set", p)
+		}
+	}
+	// The paper's best plan (Figure 4(b)) — the join pushed below both
+	// Reduce operators — must be present in both modes.
+	bestShape := "out(append_userinfo(condense_sessions(filter_buy_sessions(filter_loggedin(click, login))), user))"
+	for mode, ps := range plans {
+		found := false
+		for _, p := range ps {
+			if p == bestShape {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mode %d: missing the Figure 4(b) plan", mode)
+		}
+	}
+}
+
+// TestAllPlansEquivalent runs every manual-mode plan and compares outputs.
+func TestAllPlansEquivalent(t *testing.T) {
+	g := &GenParams{Sessions: 150, ClicksPerSess: 6, BuyRate: 0.2, LoginRate: 0.4, Users: 50, Seed: 3}
+	task, _ := Build(ModeManual, g)
+	tree, err := optimizer.FromFlow(task.Flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alts := optimizer.NewEnumerator().Enumerate(tree)
+	if len(alts) != 4 {
+		t.Fatalf("plans = %d, want 4", len(alts))
+	}
+	est := optimizer.NewEstimator(task.Flow)
+	po := optimizer.NewPhysicalOptimizer(est, 4)
+	e := engine.New(4)
+	for name, ds := range g.Generate(task.Flow) {
+		e.AddSource(name, ds)
+	}
+	var ref record.DataSet
+	for i, a := range alts {
+		out, _, err := e.Run(po.Optimize(a))
+		if err != nil {
+			t.Fatalf("plan %s: %v", a, err)
+		}
+		if i == 0 {
+			ref = out
+			continue
+		}
+		if !out.Equal(ref) {
+			t.Errorf("plan %s output differs from %s", a, alts[0])
+		}
+	}
+	if len(ref) == 0 {
+		t.Error("task produced no output; generator parameters too sparse for a meaningful test")
+	}
+}
+
+// TestResultSemantics checks the task's output against an independent
+// computation: one record per buy session with a logged-in user, carrying
+// the click count and the user's preferred profile value.
+func TestResultSemantics(t *testing.T) {
+	g := &GenParams{Sessions: 200, ClicksPerSess: 5, BuyRate: 0.3, LoginRate: 0.5, Users: 40, Seed: 9}
+	task, _ := Build(ModeSCA, g)
+	f := task.Flow
+	tree, _ := optimizer.FromFlow(f)
+	est := optimizer.NewEstimator(f)
+	po := optimizer.NewPhysicalOptimizer(est, 4)
+	e := engine.New(4)
+	data := g.Generate(f)
+	for name, ds := range data {
+		e.AddSource(name, ds)
+	}
+	out, _, err := e.Run(po.Optimize(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference computation.
+	type sess struct {
+		clicks int
+		hasBuy bool
+	}
+	sessions := map[int64]*sess{}
+	for _, r := range data["click"] {
+		id := r.Field(f.Attr("c_session")).AsInt()
+		s, ok := sessions[id]
+		if !ok {
+			s = &sess{}
+			sessions[id] = s
+		}
+		s.clicks++
+		if r.Field(f.Attr("c_action")).AsInt() == ActionBuy {
+			s.hasBuy = true
+		}
+	}
+	login := map[int64]int64{}
+	for _, r := range data["login"] {
+		login[r.Field(f.Attr("l_session")).AsInt()] = r.Field(f.Attr("l_user")).AsInt()
+	}
+	users := map[int64]record.Record{}
+	for _, r := range data["user"] {
+		users[r.Field(f.Attr("u_key")).AsInt()] = r
+	}
+
+	wantCount := 0
+	for id, s := range sessions {
+		if _, ok := login[id]; ok && s.hasBuy {
+			wantCount++
+		}
+	}
+	if len(out) != wantCount {
+		t.Fatalf("out = %d sessions, want %d", len(out), wantCount)
+	}
+	for _, r := range out {
+		id := r.Field(f.Attr("c_session")).AsInt()
+		s := sessions[id]
+		if !s.hasBuy {
+			t.Errorf("session %d has no buy", id)
+		}
+		if got := r.Field(f.Attr("cs_count")).AsInt(); got != int64(s.clicks) {
+			t.Errorf("session %d count = %d, want %d", id, got, s.clicks)
+		}
+		u, ok := users[login[id]]
+		if !ok {
+			t.Fatalf("session %d user missing", id)
+		}
+		pref := u.Field(f.Attr("u_pref")).AsInt()
+		want := u.Field(int(pref))
+		if got := r.Field(f.Attr("ui_pref_value")); !got.Equal(want) {
+			t.Errorf("session %d pref value = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestSCAEffectConservativeDynamicRead verifies that SCA marks the
+// user-info UDF as dynamically reading (the Table 1 mechanism).
+func TestSCAEffectConservativeDynamicRead(t *testing.T) {
+	task, _ := Build(ModeSCA, DefaultGen())
+	for _, op := range task.Flow.Operators() {
+		if op.Name == "append_userinfo" {
+			if !op.Effect.DynamicRead {
+				t.Error("append_userinfo must have DynamicRead under SCA")
+			}
+			return
+		}
+	}
+	t.Fatal("append_userinfo not found")
+}
+
+func TestGenerateShape(t *testing.T) {
+	g := DefaultGen()
+	task, _ := Build(ModeSCA, g)
+	data := g.Generate(task.Flow)
+	if len(data["user"]) != g.Users {
+		t.Errorf("users = %d", len(data["user"]))
+	}
+	if len(data["click"]) == 0 || len(data["login"]) == 0 {
+		t.Error("empty click/login data")
+	}
+	// Sessions have one IP each (determinism requirement for condense).
+	f := task.Flow
+	ips := map[int64]string{}
+	for _, r := range data["click"] {
+		id := r.Field(f.Attr("c_session")).AsInt()
+		ip := r.Field(f.Attr("c_ip")).AsString()
+		if prev, ok := ips[id]; ok && prev != ip {
+			t.Fatalf("session %d has multiple IPs", id)
+		}
+		ips[id] = ip
+	}
+}

@@ -1,0 +1,171 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/record"
+)
+
+// NumNations is fixed at 25, as in TPC-H.
+const NumNations = 25
+
+// GenParams scale the synthetic TPC-H data set. The ratios between the
+// relations follow TPC-H (orders ≈ 10× customers, lineitems ≈ 4× orders);
+// absolute sizes are laptop-scale stand-ins for the paper's 400 GB run (see
+// DESIGN.md on the substitution).
+type GenParams struct {
+	// SF is the scale factor; 1.0 yields ~6000 lineitems.
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGen returns the default generation parameters.
+func DefaultGen() *GenParams { return &GenParams{SF: 1, Seed: 42} }
+
+// Suppliers returns the supplier cardinality.
+func (g *GenParams) Suppliers() int { return scaled(100, g.SF) }
+
+// Customers returns the customer cardinality.
+func (g *GenParams) Customers() int { return scaled(150, g.SF) }
+
+// Orders returns the orders cardinality.
+func (g *GenParams) Orders() int { return scaled(1500, g.SF) }
+
+// Lineitems returns the lineitem cardinality.
+func (g *GenParams) Lineitems() int { return scaled(6000, g.SF) }
+
+// DateSelectivity is the fraction of lineitems passing the Q7 date filter.
+func (g *GenParams) DateSelectivity() float64 { return 0.15 }
+
+// QuarterSelectivity is the fraction passing the Q15 quarter filter.
+func (g *GenParams) QuarterSelectivity() float64 { return 0.04 }
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// dateRange is the domain l_shipdate is drawn from; the Q7 and Q15 filter
+// windows cover DateSelectivity / QuarterSelectivity of it.
+const (
+	dateMin = 8400
+	dateMax = 10833 // ~2433 days
+)
+
+// Generate produces the six source data sets for a built Q7/Q15 flow,
+// placing every attribute at its global index in the flow. Sources not
+// present in the flow (e.g. Q15 has no orders) are skipped.
+func (g *GenParams) Generate(f *dataflow.Flow) map[string]record.DataSet {
+	rng := rand.New(rand.NewSource(g.Seed))
+	out := map[string]record.DataSet{}
+
+	attr := func(name string) int { return f.Attr(name) }
+	has := func(source string) bool {
+		for _, op := range f.Operators() {
+			if op.Kind == dataflow.KindSource && op.Name == source {
+				return true
+			}
+		}
+		return false
+	}
+	mk := func(fields map[int]record.Value) record.Record {
+		width := 0
+		for i := range fields {
+			if i+1 > width {
+				width = i + 1
+			}
+		}
+		r := record.NewRecord(width)
+		for i, v := range fields {
+			r.SetField(i, v)
+		}
+		return r
+	}
+
+	nationName := func(k int) string {
+		switch k {
+		case 6:
+			return NationX
+		case 7:
+			return NationY
+		default:
+			return fmt.Sprintf("NATION%02d", k)
+		}
+	}
+
+	for _, inst := range []string{"nation1", "nation2"} {
+		if !has(inst) {
+			continue
+		}
+		prefix := "n1_"
+		if inst == "nation2" {
+			prefix = "n2_"
+		}
+		var ds record.DataSet
+		for k := 0; k < NumNations; k++ {
+			ds = append(ds, mk(map[int]record.Value{
+				attr(prefix + "key"):  record.Int(int64(k)),
+				attr(prefix + "name"): record.String(nationName(k)),
+			}))
+		}
+		out[inst] = ds
+	}
+
+	if has("supplier") {
+		var ds record.DataSet
+		for k := 0; k < g.Suppliers(); k++ {
+			fields := map[int]record.Value{
+				attr("s_key"):       record.Int(int64(k)),
+				attr("s_nationkey"): record.Int(int64(rng.Intn(NumNations))),
+			}
+			ds = append(ds, mk(fields))
+		}
+		out["supplier"] = ds
+	}
+
+	if has("customer") {
+		var ds record.DataSet
+		for k := 0; k < g.Customers(); k++ {
+			ds = append(ds, mk(map[int]record.Value{
+				attr("c_key"):       record.Int(int64(k)),
+				attr("c_nationkey"): record.Int(int64(rng.Intn(NumNations))),
+			}))
+		}
+		out["customer"] = ds
+	}
+
+	if has("orders") {
+		var ds record.DataSet
+		for k := 0; k < g.Orders(); k++ {
+			ds = append(ds, mk(map[int]record.Value{
+				attr("o_key"):     record.Int(int64(k)),
+				attr("o_custkey"): record.Int(int64(rng.Intn(g.Customers()))),
+				attr("o_year"):    record.Int(int64(1992 + rng.Intn(7))),
+			}))
+		}
+		out["orders"] = ds
+	}
+
+	if has("lineitem") {
+		var ds record.DataSet
+		for k := 0; k < g.Lineitems(); k++ {
+			fields := map[int]record.Value{
+				attr("l_suppkey"):  record.Int(int64(rng.Intn(g.Suppliers()))),
+				attr("l_shipdate"): record.Int(int64(dateMin + rng.Intn(dateMax-dateMin))),
+				attr("l_revenue"):  record.Int(int64(1 + rng.Intn(1000))),
+			}
+			if _, ok := f.AttrIndex("l_orderkey"); ok {
+				fields[attr("l_orderkey")] = record.Int(int64(rng.Intn(g.Orders())))
+			}
+			ds = append(ds, mk(fields))
+		}
+		out["lineitem"] = ds
+	}
+	return out
+}
