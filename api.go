@@ -177,10 +177,12 @@ func Optimize(f *Flow, dop int) (*PhysPlan, error) {
 // Engine re-exports.
 type (
 	// Engine executes physical plans on a multi-goroutine shared-nothing
-	// runtime.
+	// runtime with a batched shuffle and fused Map chains (see DESIGN.md).
 	Engine = engine.Engine
 	// RunStats reports per-operator records, shipped bytes, and UDF calls.
 	RunStats = engine.RunStats
+	// OpStats are the runtime statistics of one operator execution.
+	OpStats = engine.OpStats
 )
 
 // NewEngine returns an execution engine with the given degree of

@@ -1,0 +1,251 @@
+// Integration tests executing the examples/quickstart and examples/relational
+// pipelines end to end through the public API surface, asserting their
+// outputs against independently computed expectations. The example main
+// packages themselves stay untestable binaries; these tests replicate their
+// flows one-to-one so a regression in parsing, analysis, enumeration,
+// costing, or execution surfaces here.
+package blackboxflow_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blackboxflow"
+)
+
+// quickstartUDFs is the Section 3 program of examples/quickstart: f1 = |B|,
+// f2 = keep A>=0, f3 = A+B over global attributes A=0, B=1.
+const quickstartUDFs = `
+func map f1($ir) {
+	$b := getfield $ir 1
+	$or := copyrec $ir
+	if $b >= 0 goto DONE
+	$b := neg $b
+	setfield $or 1 $b
+DONE: emit $or
+}
+func map f2($ir) {
+	$a := getfield $ir 0
+	if $a < 0 goto SKIP
+	emit $ir
+SKIP: return
+}
+func map f3($ir) {
+	$a := getfield $ir 0
+	$b := getfield $ir 1
+	$sum := $a + $b
+	$or := copyrec $ir
+	setfield $or 0 $sum
+	emit $or
+}
+`
+
+func buildQuickstartFlow(t *testing.T) *blackboxflow.Flow {
+	t.Helper()
+	prog, err := blackboxflow.ParseUDFs(quickstartUDFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := blackboxflow.NewFlow()
+	src := flow.Source("I", []string{"A", "B"},
+		blackboxflow.Hints{Records: 10000, AvgWidthBytes: 18})
+	o1 := flow.Map("f1", prog.Funcs["f1"], src, blackboxflow.Hints{})
+	o2 := flow.Map("f2", prog.Funcs["f2"], o1, blackboxflow.Hints{Selectivity: 0.5})
+	o3 := flow.Map("f3", prog.Funcs["f3"], o2, blackboxflow.Hints{})
+	flow.SetSink("O", o3)
+	if err := flow.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+	return flow
+}
+
+// TestQuickstartExamplePipeline runs the quickstart flow on random data and
+// checks the engine output against a direct Go evaluation of the three UDFs
+// in their original order (any valid reordering must produce the same bag).
+func TestQuickstartExamplePipeline(t *testing.T) {
+	flow := buildQuickstartFlow(t)
+
+	alts, err := blackboxflow.Enumerate(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3: f1 and f2 commute, f3 is pinned -> exactly two orders.
+	if len(alts) != 2 {
+		t.Fatalf("enumerated %d orders, want 2", len(alts))
+	}
+
+	ranked, err := blackboxflow.RankPlans(flow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	data := make(blackboxflow.DataSet, 10000)
+	want := make(blackboxflow.DataSet, 0, len(data))
+	for i := range data {
+		a := int64(rng.Intn(200) - 100)
+		bv := int64(rng.Intn(200) - 100)
+		data[i] = blackboxflow.Record{blackboxflow.Int(a), blackboxflow.Int(bv)}
+		// f1: B := |B|; f2: keep A >= 0; f3: A := A + B.
+		if bv < 0 {
+			bv = -bv
+		}
+		if a >= 0 {
+			want = append(want, blackboxflow.Record{blackboxflow.Int(a + bv), blackboxflow.Int(bv)})
+		}
+	}
+
+	for _, rp := range ranked {
+		eng := blackboxflow.NewEngine(4)
+		eng.AddSource("I", data)
+		out, stats, err := eng.Run(rp.Phys)
+		if err != nil {
+			t.Fatalf("plan %s: %v", rp.Tree, err)
+		}
+		if !out.Equal(want) {
+			t.Fatalf("plan %s: output (%d records) differs from direct evaluation (%d records)",
+				rp.Tree, len(out), len(want))
+		}
+		if stats.TotalUDFCalls() == 0 {
+			t.Errorf("plan %s: no UDF calls recorded", rp.Tree)
+		}
+		for _, s := range stats.PerOp {
+			if s.Name != "I" && s.Name != "O" && s.InRecords == 0 {
+				t.Errorf("plan %s: operator %s reports zero input records", rp.Tree, s.Name)
+			}
+		}
+	}
+
+	// The paper's worked trace: [<2,-3>, <-2,-3>] -> [<5,3>].
+	eng := blackboxflow.NewEngine(1)
+	eng.AddSource("I", blackboxflow.DataSet{
+		{blackboxflow.Int(2), blackboxflow.Int(-3)},
+		{blackboxflow.Int(-2), blackboxflow.Int(-3)},
+	})
+	out, _, err := eng.Run(ranked[0].Phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := blackboxflow.DataSet{{blackboxflow.Int(5), blackboxflow.Int(3)}}
+	if !out.Equal(trace) {
+		t.Fatalf("paper trace produced %v, want %v", out, trace)
+	}
+}
+
+// relationalUDFs is the TPC-H Q15-style program of examples/relational.
+const relationalUDFs = `
+func map quarter($ir) {
+	$d := getfield $ir 3
+	if $d < 900 goto SKIP
+	if $d > 990 goto SKIP
+	emit $ir
+SKIP: return
+}
+func binary join($l, $r) {
+	$o := concat $l $r
+	emit $o
+}
+func reduce revenue($g) {
+	$first := groupget $g 0
+	$or := copyrec $first
+	setfield $or 3 null
+	setfield $or 4 null
+	$s := agg sum $g 4
+	setfield $or 5 $s
+	emit $or
+}
+`
+
+// TestRelationalExamplePipeline runs the aggregation-push-down flow of
+// examples/relational on deterministic data and checks the revenue sums per
+// supplier against a direct computation.
+func TestRelationalExamplePipeline(t *testing.T) {
+	const (
+		suppliers = 100
+		lineitems = 20000
+	)
+	prog, err := blackboxflow.ParseUDFs(relationalUDFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flow := blackboxflow.NewFlow()
+	// Global attribute indices: s_key=0, s_name=1, l_suppkey=2,
+	// l_shipdate=3, l_revenue=4, total_revenue=5.
+	sup := flow.Source("supplier", []string{"s_key", "s_name"},
+		blackboxflow.Hints{Records: suppliers, AvgWidthBytes: 24})
+	li := flow.Source("lineitem", []string{"l_suppkey", "l_shipdate", "l_revenue"},
+		blackboxflow.Hints{Records: lineitems, AvgWidthBytes: 27})
+	flow.DeclareAttr("total_revenue")
+	filt := flow.Map("quarter", prog.Funcs["quarter"], li,
+		blackboxflow.Hints{Selectivity: 0.09})
+	agg := flow.Reduce("revenue", prog.Funcs["revenue"], []string{"l_suppkey"}, filt,
+		blackboxflow.Hints{KeyCardinality: suppliers})
+	join := flow.Match("join", prog.Funcs["join"], []string{"s_key"}, []string{"l_suppkey"},
+		sup, agg, blackboxflow.Hints{KeyCardinality: suppliers})
+	join.FKSide = blackboxflow.FKRight
+	flow.SetSink("out", join)
+	if err := flow.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic data plus the directly computed expected revenue sums.
+	var supData, liData blackboxflow.DataSet
+	names := make([]string, suppliers)
+	for k := 0; k < suppliers; k++ {
+		names[k] = fmt.Sprintf("Supplier#%03d", k)
+		supData = append(supData, blackboxflow.Record{
+			blackboxflow.Int(int64(k)), blackboxflow.String(names[k]),
+		})
+	}
+	revenue := make(map[int]int64)
+	for i := 0; i < lineitems; i++ {
+		suppkey := i % suppliers
+		shipdate := (i * 37) % 1000
+		rev := int64(1 + (i*13)%500)
+		liData = append(liData, blackboxflow.Record{
+			blackboxflow.Null, blackboxflow.Null,
+			blackboxflow.Int(int64(suppkey)),
+			blackboxflow.Int(int64(shipdate)),
+			blackboxflow.Int(rev),
+		})
+		if shipdate >= 900 && shipdate <= 990 {
+			revenue[suppkey] += rev
+		}
+	}
+	var want blackboxflow.DataSet
+	for k, sum := range revenue {
+		// join emits concat(supplier, aggregate): the supplier fields plus
+		// the aggregate's suppkey and total, shipdate/revenue nulled out.
+		want = append(want, blackboxflow.Record{
+			blackboxflow.Int(int64(k)), blackboxflow.String(names[k]),
+			blackboxflow.Int(int64(k)), blackboxflow.Null, blackboxflow.Null,
+			blackboxflow.Int(sum),
+		})
+	}
+
+	ranked, err := blackboxflow.RankPlans(flow, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) < 2 {
+		t.Fatalf("enumerated %d orders, want several (filter/aggregation push-down)", len(ranked))
+	}
+	for _, rp := range ranked {
+		eng := blackboxflow.NewEngine(8)
+		eng.AddSource("supplier", supData)
+		eng.AddSource("lineitem", liData)
+		out, stats, err := eng.Run(rp.Phys)
+		if err != nil {
+			t.Fatalf("plan %s: %v", rp.Tree, err)
+		}
+		if !out.Equal(want) {
+			t.Fatalf("plan %s: %d records differ from expected %d per-supplier sums",
+				rp.Tree, len(out), len(want))
+		}
+		if stats.TotalUDFCalls() == 0 {
+			t.Errorf("plan %s: no UDF calls recorded", rp.Tree)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module blackboxflow
+
+go 1.24

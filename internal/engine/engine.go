@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blackboxflow/internal/dataflow"
@@ -95,6 +96,11 @@ type Engine struct {
 	// Sources maps source operator names to their data.
 	Sources map[string]record.DataSet
 
+	// LegacyShuffle routes ShipPartition through the pre-batching
+	// record-at-a-time sender instead of the batched one. Retained only so
+	// regression tests and benchmarks can compare the two paths.
+	LegacyShuffle bool
+
 	// NetBandwidth simulates a cluster interconnect: when positive, every
 	// non-forward shipping step takes at least shippedBytes/NetBandwidth
 	// seconds of wall time. The paper's evaluation ran on 1 GbE, where
@@ -139,6 +145,12 @@ func (e *Engine) Run(plan *optimizer.PhysPlan) (record.DataSet, *RunStats, error
 }
 
 func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+	// Chained Maps are fused into their producer's partition loop instead
+	// of materializing each intermediate stage.
+	if isChainable(p) {
+		return e.execChain(p, stats)
+	}
+
 	// Execute inputs first (post-order).
 	inputs := make([]Partitioned, len(p.Inputs))
 	for i, in := range p.Inputs {
@@ -199,7 +211,7 @@ func (e *Engine) ship(in Partitioned, s optimizer.Shipping, keys []int) (Partiti
 	case optimizer.ShipForward:
 		return in, 0
 	case optimizer.ShipPartition:
-		return e.shuffle(in, keys)
+		return e.Shuffle(in, keys)
 	case optimizer.ShipBroadcast:
 		bytes := 0
 		full := in.Flatten()
@@ -215,53 +227,204 @@ func (e *Engine) ship(in Partitioned, s optimizer.Shipping, keys []int) (Partiti
 	}
 }
 
+// Shuffle hash-partitions a partitioned data set by the key fields into
+// e.DOP partitions and returns the reshaped data plus the number of bytes
+// that crossed the (simulated) network. It is the primitive behind
+// ShipPartition, exposed so tests and benchmarks can drive it directly.
+func (e *Engine) Shuffle(in Partitioned, keys []int) (Partitioned, int) {
+	if e.LegacyShuffle {
+		return e.shuffleRecordAtATime(in, keys)
+	}
+	return e.shuffle(in, keys)
+}
+
 // shuffle hash-partitions records by the key fields using goroutines and
 // channels (one sender per source partition, one collector per target).
+//
+// Records move in record.Batch units rather than one at a time: each sender
+// accumulates a per-target batch and flushes it over the target's channel
+// when full (record.DefaultBatchCap records), which amortizes channel
+// synchronization across ~1k records. Batches are sync.Pool-recycled, and
+// each batch carries its running encoded size, so byte accounting needs no
+// second pass over the records. See DESIGN.md.
+// The senders and collectors are top-level functions taking explicit
+// arguments (not closures) and the channels are unbuffered, keeping the
+// fixed allocation cost of a shuffle to the channel objects and the output
+// partitions themselves.
 func (e *Engine) shuffle(in Partitioned, keys []int) (Partitioned, int) {
 	dop := e.DOP
-	chans := make([]chan record.Record, dop)
-	for i := range chans {
-		chans[i] = make(chan record.Record, 256)
+	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
+	for i := range st.chans {
+		st.chans[i] = make(chan *record.Batch)
 	}
-	var senders sync.WaitGroup
-	var bytes int64
-	var bytesMu sync.Mutex
-	for _, part := range in {
-		part := part
-		senders.Add(1)
-		go func() {
-			defer senders.Done()
-			local := 0
-			for _, r := range part {
-				t := int(r.Hash(keys) % uint64(dop))
-				local += r.EncodedSize()
-				chans[t] <- r
-			}
-			bytesMu.Lock()
-			bytes += int64(local)
-			bytesMu.Unlock()
-		}()
+	st.senders.Add(len(in))
+	st.collectors.Add(dop)
+	// One flat accumulator array for all senders; sender si owns the
+	// per-target window acc[si*dop : (si+1)*dop].
+	acc := make([]*record.Batch, len(in)*dop)
+	for si, part := range in {
+		go shuffleSend(st, acc[si*dop:(si+1)*dop], part, keys)
 	}
-	go func() {
-		senders.Wait()
-		for _, c := range chans {
-			close(c)
-		}
-	}()
+	// Pre-size each output partition for a near-uniform key distribution;
+	// skewed keys just fall back to append growth.
+	sizeHint := in.Records()/dop + in.Records()/(8*dop) + 16
 	out := make(Partitioned, dop)
-	var collectors sync.WaitGroup
-	for i := range chans {
-		i := i
-		collectors.Add(1)
-		go func() {
-			defer collectors.Done()
-			for r := range chans[i] {
-				out[i] = append(out[i], r)
-			}
-		}()
+	for i := range st.chans {
+		go shuffleCollect(st, out, i, sizeHint)
 	}
-	collectors.Wait()
-	return out, int(bytes)
+	st.senders.Wait()
+	for _, c := range st.chans {
+		close(c)
+	}
+	st.collectors.Wait()
+	return out, int(st.bytes.Load())
+}
+
+// shuffleState is the shared coordination state of one shuffle execution,
+// allocated once so sender and collector goroutines share a single object.
+type shuffleState struct {
+	chans      []chan *record.Batch
+	senders    sync.WaitGroup
+	collectors sync.WaitGroup
+	bytes      atomic.Int64
+}
+
+// shuffleSend hash-routes one source partition's records into per-target
+// batches, flushing each batch over its target's channel when full.
+func shuffleSend(st *shuffleState, acc []*record.Batch, part []record.Record, keys []int) {
+	defer st.senders.Done()
+	dop := uint64(len(st.chans))
+	local := 0
+	for _, r := range part {
+		t := int(r.Hash(keys) % dop)
+		b := acc[t]
+		if b == nil {
+			b = record.GetBatch()
+			acc[t] = b
+		}
+		if b.Append(r) {
+			local += b.EncodedSize()
+			st.chans[t] <- b
+			acc[t] = nil
+		}
+	}
+	// Flush the partial tail batches (always non-empty: a batch is only
+	// allocated on first append).
+	for t, b := range acc {
+		if b != nil {
+			local += b.EncodedSize()
+			st.chans[t] <- b
+			acc[t] = nil
+		}
+	}
+	st.bytes.Add(int64(local))
+}
+
+// shuffleCollect drains one target partition's channel, appending batch
+// contents into the output and recycling the batches.
+func shuffleCollect(st *shuffleState, out Partitioned, i, sizeHint int) {
+	defer st.collectors.Done()
+	buf := make([]record.Record, 0, sizeHint)
+	for b := range st.chans[i] {
+		buf = append(buf, b.Records()...)
+		record.PutBatch(b)
+	}
+	out[i] = buf
+}
+
+// isChainable reports whether the engine may fuse this plan node into its
+// producer's partition loop: a Map annotated Chained by the physical
+// optimizer, fed by a local forward (no repartitioning in between).
+// Handcrafted plans without the annotation keep the stage-at-a-time path.
+func isChainable(p *optimizer.PhysPlan) bool {
+	return p.Chained && p.Op.Kind == dataflow.KindMap && p.Op.UDF != nil &&
+		len(p.Inputs) == 1 && len(p.Ship) == 1 && p.Ship[0] == optimizer.ShipForward
+}
+
+// execChain executes a maximal run of chained Map operators (p is the
+// topmost) fused into a single per-partition loop. Records flow through the
+// whole chain one at a time; only the final output is materialized, so a
+// chain of k Maps allocates no intermediate partitions. Per-operator
+// statistics are still collected: records in/out and UDF calls exactly, and
+// the fused loop's wall time attributed evenly across the chain's operators.
+func (e *Engine) execChain(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+	// Walk down the run of fused Maps to the pipeline breaker below it.
+	var chain []*optimizer.PhysPlan
+	node := p
+	for isChainable(node) {
+		chain = append(chain, node)
+		node = node.Inputs[0]
+	}
+	base, err := e.exec(node, stats)
+	if err != nil {
+		return nil, err
+	}
+	// Reverse into execution (producer-first) order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	nOps := len(chain)
+	type opCount struct{ in, out, calls int }
+	out := make(Partitioned, len(base))
+	counts := make([][]opCount, len(base))
+	errs := make([]error, len(base))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range base {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := make([]opCount, nOps)
+			counts[i] = c
+			// emit pushes one record into the chain at the given level and
+			// cascades its outputs upward.
+			var emit func(level int, r record.Record) error
+			emit = func(level int, r record.Record) error {
+				if level == nOps {
+					out[i] = append(out[i], r)
+					return nil
+				}
+				op := chain[level].Op
+				c[level].in++
+				res, err := e.interp.InvokeMap(op.UDF, r)
+				if err != nil {
+					return fmt.Errorf("engine: %s: %w", op.Name, err)
+				}
+				c[level].calls++
+				c[level].out += len(res)
+				for _, rr := range res {
+					if err := emit(level+1, rr); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for _, r := range base[i] {
+				if errs[i] = emit(0, r); errs[i] != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	share := elapsed / time.Duration(nOps)
+	for level, cp := range chain {
+		st := OpStats{Name: cp.Op.Name, LocalTime: share}
+		for i := range counts {
+			st.InRecords += counts[i][level].in
+			st.OutRecords += counts[i][level].out
+			st.UDFCalls += counts[i][level].calls
+		}
+		stats.PerOp = append(stats.PerOp, st)
+	}
+	return out, nil
 }
 
 // local runs the operator's local strategy on every partition in parallel.

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool intentionally drops a fraction of puts to surface races, so
+// allocation counts are not meaningful there.
+const raceEnabled = true

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"sync"
+
+	"blackboxflow/internal/record"
+)
+
+// shuffleRecordAtATime is the pre-batching shuffle: one channel send per
+// record. It is retained verbatim as the regression baseline that
+// TestShuffleAllocRegression and BenchmarkShuffle compare the batched path
+// against; no default execution path reaches it — it runs only when
+// Engine.LegacyShuffle is set.
+func (e *Engine) shuffleRecordAtATime(in Partitioned, keys []int) (Partitioned, int) {
+	dop := e.DOP
+	chans := make([]chan record.Record, dop)
+	for i := range chans {
+		chans[i] = make(chan record.Record, 256)
+	}
+	var senders sync.WaitGroup
+	var bytes int64
+	var bytesMu sync.Mutex
+	for _, part := range in {
+		part := part
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			local := 0
+			for _, r := range part {
+				t := int(r.Hash(keys) % uint64(dop))
+				local += r.EncodedSize()
+				chans[t] <- r
+			}
+			bytesMu.Lock()
+			bytes += int64(local)
+			bytesMu.Unlock()
+		}()
+	}
+	go func() {
+		senders.Wait()
+		for _, c := range chans {
+			close(c)
+		}
+	}()
+	out := make(Partitioned, dop)
+	var collectors sync.WaitGroup
+	for i := range chans {
+		i := i
+		collectors.Add(1)
+		go func() {
+			defer collectors.Done()
+			for r := range chans[i] {
+				out[i] = append(out[i], r)
+			}
+		}()
+	}
+	collectors.Wait()
+	return out, int(bytes)
+}

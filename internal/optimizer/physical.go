@@ -85,6 +85,14 @@ type PhysPlan struct {
 	// BuildSide selects the hash-join build input (0 or 1).
 	BuildSide int
 
+	// Chained marks a pipelineable UDF operator (currently Maps) whose
+	// single input arrives via ShipForward: no repartitioning separates it
+	// from its producer, so the engine fuses it into the upstream partition
+	// loop instead of materializing the intermediate partitions. Computed
+	// here rather than in the engine so that physical plans fully describe
+	// their own execution shape.
+	Chained bool
+
 	// Partitioned is the set of key attributes the output is
 	// hash-partitioned by (nil/empty when unpartitioned) — the interesting
 	// property tracked during physical optimization.
@@ -104,7 +112,11 @@ func (p *PhysPlan) String() string {
 	for i, s := range p.Ship {
 		ships[i] = s.String()
 	}
-	return fmt.Sprintf("%s{%s;%s}", p.Op.Name, strings.Join(ships, ","), p.Local)
+	suffix := ""
+	if p.Chained {
+		suffix = ";chained"
+	}
+	return fmt.Sprintf("%s{%s;%s%s}", p.Op.Name, strings.Join(ships, ","), p.Local, suffix)
 }
 
 // Indent renders the physical plan as an indented listing with strategies
@@ -220,7 +232,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 		for _, in := range po.plans(t.Kids[0], memo) {
 			p := &PhysPlan{
 				Op: op, Tree: t, Inputs: []*PhysPlan{in},
-				Ship: []Shipping{ShipForward}, Local: LocalPipe,
+				Ship: []Shipping{ShipForward}, Local: LocalPipe, Chained: true,
 				OutRecords: po.Est.Records(t), OutBytes: po.Est.Bytes(t),
 				Cost: in.Cost.Plus(Cost{CPU: po.Est.CPUCost(t) + cpuPipeFactor*in.OutRecords}),
 			}
