@@ -16,7 +16,16 @@
 //     each alternative with a hint-driven model, picks shipping (forward /
 //     partition / broadcast) and local (hash/sort) strategies, and returns
 //     the cheapest physical plan;
-//   - a multi-goroutine shared-nothing engine executes physical plans.
+//   - a multi-goroutine shared-nothing engine executes physical plans with
+//     a batched shuffle, fused Map chains, and — for Reduce operators whose
+//     Combiner declaration passes the read/write-set safety check —
+//     pre-shuffle partial aggregation on the senders (see DESIGN.md).
+//
+// A Reduce over a decomposable aggregate can declare a combiner with
+// Operator.SetCombiner (fully algebraic aggregates pass their own UDF);
+// the optimizer annotates the plan only after verifying, from the
+// combiner's derived properties, that it emits exactly one record per
+// group and never writes the grouping key.
 //
 // A minimal end-to-end use:
 //
@@ -177,9 +186,11 @@ func Optimize(f *Flow, dop int) (*PhysPlan, error) {
 // Engine re-exports.
 type (
 	// Engine executes physical plans on a multi-goroutine shared-nothing
-	// runtime with a batched shuffle and fused Map chains (see DESIGN.md).
+	// runtime with a batched shuffle, fused Map chains, and pre-shuffle
+	// partial aggregation for combinable Reduces (see DESIGN.md).
 	Engine = engine.Engine
-	// RunStats reports per-operator records, shipped bytes, and UDF calls.
+	// RunStats reports per-operator records, shipped bytes, UDF calls, and
+	// combiner calls.
 	RunStats = engine.RunStats
 	// OpStats are the runtime statistics of one operator execution.
 	OpStats = engine.OpStats

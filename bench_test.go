@@ -1,11 +1,14 @@
 // Benchmarks regenerating the paper's evaluation artifacts (one benchmark
-// per table/figure; see DESIGN.md's per-experiment index and EXPERIMENTS.md
-// for paper-vs-measured numbers), plus ablation and micro benchmarks.
+// per table/figure), plus ablation and engine micro benchmarks.
+// EXPERIMENTS.md maps every benchmark to its paper artifact and records the
+// measured numbers (including the BENCH_*.json engine baselines); DESIGN.md
+// describes the runtime substitutions the measurements rely on.
 //
 // Run with: go test -bench=. -benchmem
 package blackboxflow_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -460,6 +463,97 @@ func BenchmarkShuffle(b *testing.B) {
 						out.Records(), bytes, n, total)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkCombiner measures the pre-shuffle partial aggregation path on a
+// high-duplication wordcount-style workload at DOP 8: 200k records over 100
+// distinct words, summed per word by a Reduce that is its own combiner. The
+// "combined" case runs the optimizer-annotated plan (senders collapse every
+// outgoing batch to one record per word before flushing); "no-combiner"
+// runs the identical plan with the annotation stripped. The shipped-bytes
+// ratio (target ≥5x, measured ~70x) is recorded in BENCH_combiner.json.
+func BenchmarkCombiner(b *testing.B) {
+	const (
+		n     = 200000
+		words = 100
+	)
+	prog := tac.MustParse(`
+func reduce wcount($g) {
+	$first := groupget $g 0
+	$or := copyrec $first
+	$s := agg sum $g 1
+	setfield $or 1 $s
+	emit $or
+}
+`)
+	udf, _ := prog.Lookup("wcount")
+	f := dataflow.NewFlow()
+	src := f.Source("words", []string{"word", "n"},
+		dataflow.Hints{Records: n, AvgWidthBytes: 16})
+	red := f.Reduce("wcount", udf, []string{"word"}, src,
+		dataflow.Hints{KeyCardinality: words})
+	red.SetCombiner(udf)
+	f.SetSink("out", red)
+	if err := f.DeriveEffects(false); err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(f), 8).Optimize(tree)
+	var redNode *optimizer.PhysPlan
+	var find func(p *optimizer.PhysPlan)
+	find = func(p *optimizer.PhysPlan) {
+		if p.Op.Kind == dataflow.KindReduce {
+			redNode = p
+		}
+		for _, in := range p.Inputs {
+			find(in)
+		}
+	}
+	find(plan)
+	if redNode == nil || !redNode.Combinable {
+		b.Fatal("optimizer did not annotate the Reduce as Combinable")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	data := make(record.DataSet, n)
+	for i := range data {
+		data[i] = record.Record{
+			record.String(fmt.Sprintf("word%03d", rng.Intn(words))),
+			record.Int(1),
+		}
+	}
+
+	for _, mode := range []struct {
+		name       string
+		combinable bool
+	}{
+		{"combined", true},
+		{"no-combiner", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			redNode.Combinable = mode.combinable
+			defer func() { redNode.Combinable = true }()
+			e := engine.New(8)
+			e.AddSource("words", data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var shipped int
+			for i := 0; i < b.N; i++ {
+				out, stats, err := e.Run(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != words {
+					b.Fatalf("reduce emitted %d records, want %d", len(out), words)
+				}
+				shipped = stats.TotalShippedBytes()
+			}
+			b.ReportMetric(float64(shipped), "shipped-B/op")
 		})
 	}
 }

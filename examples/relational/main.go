@@ -46,6 +46,19 @@ func reduce revenue($g) {
 	setfield $or 5 $s
 	emit $or
 }
+
+# Pre-shuffle partial aggregate for revenue: collapses any subset of a
+# supplier's rows into one row carrying the partial sum in the same field
+# the final aggregate reads (sum-of-sums = sum). Declared as the Reduce's
+# combiner below; the optimizer verifies from this code that it emits
+# exactly one record and never writes the grouping key.
+func reduce revenuePartial($g) {
+	$first := groupget $g 0
+	$or := copyrec $first
+	$s := agg sum $g 4
+	setfield $or 4 $s
+	emit $or
+}
 `
 
 func main() {
@@ -64,6 +77,10 @@ func main() {
 		blackboxflow.Hints{Selectivity: 0.09})
 	agg := flow.Reduce("revenue", prog.Funcs["revenue"], []string{"l_suppkey"}, filt,
 		blackboxflow.Hints{KeyCardinality: 200})
+	// Declare the aggregation decomposable: the engine's shuffle senders
+	// then pre-aggregate each outgoing batch, shipping at most one partial
+	// row per supplier per flush window instead of every lineitem.
+	agg.SetCombiner(prog.Funcs["revenuePartial"])
 	join := flow.Match("join", prog.Funcs["join"], []string{"s_key"}, []string{"l_suppkey"},
 		sup, agg, blackboxflow.Hints{KeyCardinality: 200})
 	join.FKSide = blackboxflow.FKRight // lineitem references supplier

@@ -131,6 +131,24 @@ type Operator struct {
 	// Keys[0]; Match and CoGroup use Keys[0] and Keys[1].
 	Keys [][]int
 
+	// Combiner declares a Reduce decomposable into partial + final
+	// aggregation: a reduce-kind UDF that collapses any subset of a key
+	// group into one partial record such that running the operator's UDF
+	// over partial records yields the same result as over the raw records
+	// (sum-of-sums, max-of-maxes, ...). When set — and when the physical
+	// optimizer proves the declaration safe against the combiner's
+	// read/write sets (props.CombinerSafe) — the engine applies it on the
+	// shuffle senders, shipping at most one record per (group key, target)
+	// per flush window instead of every input record. Fully algebraic
+	// aggregates typically pass the operator's own UDF here. Nil means no
+	// pre-shuffle aggregation. Only valid on KindReduce.
+	Combiner *tac.Func
+
+	// CombinerEffect holds the combiner's symbolic properties, derived by
+	// SCA in DeriveEffects or supplied via SetCombinerEffect. The optimizer
+	// ignores Combiner until an effect is attached.
+	CombinerEffect *props.Effect
+
 	// SourceAttrs are the attributes a source produces.
 	SourceAttrs props.FieldSet
 
@@ -301,6 +319,20 @@ func (f *Flow) CoGroup(name string, udf *tac.Func, leftKeys, rightKeys []string,
 	return op
 }
 
+// SetCombiner declares the Reduce decomposable, attaching the reduce-kind
+// UDF used for pre-shuffle partial aggregation (see Operator.Combiner).
+// Passing the operator's own UDF is the common case for fully algebraic
+// aggregates. Validate rejects combiners on non-Reduce operators and
+// combiners of the wrong TAC kind.
+func (o *Operator) SetCombiner(f *tac.Func) *Operator {
+	o.Combiner = f
+	return o
+}
+
+// SetCombinerEffect attaches a manual annotation for the combiner,
+// overriding SCA (the combiner analogue of SetEffect).
+func (o *Operator) SetCombinerEffect(e *props.Effect) { o.CombinerEffect = e }
+
 // SetSink designates the flow's sink, wrapping the given root operator.
 func (f *Flow) SetSink(name string, root *Operator) *Operator {
 	op := f.newOp(name, KindSink, root)
@@ -361,6 +393,15 @@ func (f *Flow) Validate() error {
 				return fmt.Errorf("dataflow: %s UDF %s has kind %s, want %s", op, op.UDF.Name, op.UDF.Kind, want)
 			}
 		}
+		if op.Combiner != nil {
+			if op.Kind != KindReduce {
+				return fmt.Errorf("dataflow: %s declares a combiner; combiners are only valid on Reduce", op)
+			}
+			if op.Combiner.Kind != tac.KindReduce {
+				return fmt.Errorf("dataflow: %s combiner %s has kind %s, want %s",
+					op, op.Combiner.Name, op.Combiner.Kind, tac.KindReduce)
+			}
+		}
 		if seen[op.ID] {
 			return nil
 		}
@@ -401,6 +442,16 @@ func (f *Flow) DeriveEffects(keepManual bool) error {
 			return fmt.Errorf("dataflow: SCA of %s (%s): %w", op, op.UDF.Name, err)
 		}
 		op.Effect = e
+	}
+	for _, op := range f.ops {
+		if op.Combiner == nil || (keepManual && op.CombinerEffect != nil) {
+			continue
+		}
+		e, err := sca.Analyze(op.Combiner)
+		if err != nil {
+			return fmt.Errorf("dataflow: SCA of %s combiner (%s): %w", op, op.Combiner.Name, err)
+		}
+		op.CombinerEffect = e
 	}
 	return nil
 }

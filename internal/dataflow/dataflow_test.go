@@ -258,3 +258,61 @@ func TestOperatorString(t *testing.T) {
 		}
 	}
 }
+
+// TestCombinerDeclaration covers SetCombiner: acceptance on Reduce,
+// rejection on other kinds and on wrong TAC kinds, and SCA derivation of
+// the combiner's effect in DeriveEffects.
+func TestCombinerDeclaration(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		f := NewFlow()
+		s := f.Source("S", []string{"a"}, Hints{})
+		r := f.Reduce("R", u("rd"), []string{"a"}, s, Hints{})
+		r.SetCombiner(u("rd"))
+		f.SetSink("out", r)
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.DeriveEffects(false); err != nil {
+			t.Fatal(err)
+		}
+		if r.CombinerEffect == nil {
+			t.Error("DeriveEffects left CombinerEffect nil")
+		}
+	})
+	t.Run("combiner on a Map", func(t *testing.T) {
+		f := NewFlow()
+		s := f.Source("S", []string{"a"}, Hints{})
+		m := f.Map("M", u("id"), s, Hints{})
+		m.Combiner = u("rd")
+		f.SetSink("out", m)
+		if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "only valid on Reduce") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("wrong combiner kind", func(t *testing.T) {
+		f := NewFlow()
+		s := f.Source("S", []string{"a"}, Hints{})
+		r := f.Reduce("R", u("rd"), []string{"a"}, s, Hints{})
+		r.SetCombiner(u("id")) // map UDF as combiner
+		f.SetSink("out", r)
+		if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "kind") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("manual combiner effect kept", func(t *testing.T) {
+		f := NewFlow()
+		s := f.Source("S", []string{"a"}, Hints{})
+		r := f.Reduce("R", u("rd"), []string{"a"}, s, Hints{})
+		r.SetCombiner(u("rd"))
+		f.SetSink("out", r)
+		manual := props.NewEffect(1)
+		manual.EmitMin, manual.EmitMax = 1, 1
+		r.SetCombinerEffect(manual)
+		if err := f.DeriveEffects(true); err != nil {
+			t.Fatal(err)
+		}
+		if r.CombinerEffect != manual {
+			t.Error("DeriveEffects(keepManual) overwrote the manual combiner effect")
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+)
+
+// opCount tallies one operator's exact record movement inside a fused loop
+// (chained Maps, combining senders): records in, records out, UDF calls.
+type opCount struct{ in, out, calls int }
+
+// combineCounts are one sender goroutine's statistics of a combining
+// shuffle: the per-level counts of the fused Map chain, the number of
+// records that entered the combining accumulator (the Reduce's logical
+// input), and the combiner invocations performed.
+type combineCounts struct {
+	chain         []opCount
+	combineIn     int
+	combinerCalls int
+}
+
+// isCombinableReduce reports whether the engine may run this Reduce through
+// the combining sender loop: a KindReduce annotated Combinable by the
+// physical optimizer, shuffled via ShipPartition, with a combiner attached.
+// Handcrafted plans without the annotation — and engines running the legacy
+// record-at-a-time shuffle, which has no batch to combine — keep the plain
+// path, exactly like Chained.
+func (e *Engine) isCombinableReduce(p *optimizer.PhysPlan) bool {
+	return !e.LegacyShuffle && p.Combinable &&
+		p.Op.Kind == dataflow.KindReduce && p.Op.Combiner != nil &&
+		len(p.Inputs) == 1 && len(p.Ship) == 1 && p.Ship[0] == optimizer.ShipPartition
+}
+
+// execCombinedReduce executes a combinable Reduce — together with the
+// maximal run of chained Maps feeding it — through the fused sender loop:
+// every sender pushes each base record through the Map chain, hash-routes
+// the chain's outputs into per-target batches, and applies the combiner to
+// each batch before flushing it (Map → combine → ship in one pass, no
+// intermediate partitions). Each sender therefore ships at most one record
+// per (group key, target) per flush window. The final aggregation then runs
+// the plan's local grouping strategy over the combined partitions, exactly
+// as the uncombined path would.
+func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+	op := p.Op
+	keys := op.Keys[0]
+
+	chain, node := chainBelow(p.Inputs[0])
+	base, err := e.exec(node, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	shipStart := time.Now()
+	shuffled, counts, bytes, err := e.combineShuffle(base, chain, op, keys)
+	if err != nil {
+		return nil, err
+	}
+	if e.NetBandwidth > 0 && bytes > 0 {
+		want := time.Duration(float64(bytes) / e.NetBandwidth * float64(time.Second))
+		if elapsed := time.Since(shipStart); want > elapsed {
+			time.Sleep(want - elapsed)
+		}
+	}
+	shipElapsed := time.Since(shipStart)
+
+	localStart := time.Now()
+	out, calls, err := e.local(p, []Partitioned{shuffled})
+	if err != nil {
+		return nil, err
+	}
+	localElapsed := time.Since(localStart)
+
+	// Exact per-operator statistics across the fused run. Record counts and
+	// UDF calls are tallied per sender and summed; the fused send's wall
+	// time is attributed evenly across the chain's Maps (their LocalTime)
+	// with the remainder on the Reduce's ShipTime, mirroring execChain's
+	// attribution rule.
+	share := shipElapsed / time.Duration(len(chain)+1)
+	for level, cp := range chain {
+		st := OpStats{Name: cp.Op.Name, LocalTime: share}
+		for si := range counts {
+			st.InRecords += counts[si].chain[level].in
+			st.OutRecords += counts[si].chain[level].out
+			st.UDFCalls += counts[si].chain[level].calls
+		}
+		stats.PerOp = append(stats.PerOp, st)
+	}
+	st := OpStats{
+		Name: op.Name, ShippedBytes: bytes, UDFCalls: calls,
+		OutRecords: out.Records(),
+		ShipTime:   shipElapsed - share*time.Duration(len(chain)),
+		LocalTime:  localElapsed,
+	}
+	for si := range counts {
+		st.InRecords += counts[si].combineIn
+		st.CombinerCalls += counts[si].combinerCalls
+	}
+	stats.PerOp = append(stats.PerOp, st)
+	return out, nil
+}
+
+// combineShuffle is the combining variant of shuffle: same channel topology
+// (one sender per source partition, one collector per target), but each
+// sender runs the fused Map chain and partially aggregates every per-target
+// batch before flushing it. Collectors are the plain shuffleCollect — a
+// combined batch needs no special handling on the receiving side.
+func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int) (Partitioned, []combineCounts, int, error) {
+	dop := e.DOP
+	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
+	for i := range st.chans {
+		st.chans[i] = make(chan *record.Batch)
+	}
+	st.senders.Add(len(in))
+	st.collectors.Add(dop)
+	acc := make([]*record.Batch, len(in)*dop)
+	counts := make([]combineCounts, len(in))
+	errs := make([]error, len(in))
+	for si, part := range in {
+		counts[si].chain = make([]opCount, len(chain))
+		go e.combineSend(st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
+	}
+	// Combined partition sizes depend on the key distribution, unknowable
+	// here; start small and let append growth track the actual volume.
+	out := make(Partitioned, dop)
+	for i := range st.chans {
+		go shuffleCollect(st, out, i, 64)
+	}
+	st.senders.Wait()
+	for _, c := range st.chans {
+		close(c)
+	}
+	st.collectors.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return out, counts, int(st.bytes.Load()), nil
+}
+
+// combineSend is one sender of a combining shuffle: it cascades each record
+// of its source partition through the fused Map chain, hash-routes the
+// chain's outputs into per-target accumulator batches, and partially
+// aggregates every batch (record.Batch.Combine with the Reduce's combiner)
+// before shipping it — so a full flush window leaves the sender as at most
+// one record per group key.
+func (e *Engine) combineSend(st *shuffleState, acc []*record.Batch, part []record.Record, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int, c *combineCounts, errOut *error) {
+	defer st.senders.Done()
+	dop := uint64(len(st.chans))
+	local := 0
+
+	flush := func(t int, b *record.Batch) error {
+		calls, err := b.Combine(keys, func(group []record.Record) ([]record.Record, error) {
+			return e.interp.InvokeReduce(op.Combiner, group)
+		})
+		if err != nil {
+			record.PutBatch(b)
+			return fmt.Errorf("engine: %s combiner: %w", op.Name, err)
+		}
+		c.combinerCalls += calls
+		local += b.EncodedSize()
+		st.chans[t] <- b
+		return nil
+	}
+	route := func(r record.Record) error {
+		c.combineIn++
+		t := int(r.Hash(keys) % dop)
+		b := acc[t]
+		if b == nil {
+			b = record.GetBatch()
+			acc[t] = b
+		}
+		if b.Append(r) {
+			acc[t] = nil
+			return flush(t, b)
+		}
+		return nil
+	}
+	fail := func(err error) {
+		*errOut = err
+		for t, b := range acc {
+			if b != nil {
+				record.PutBatch(b)
+				acc[t] = nil
+			}
+		}
+	}
+	for _, r := range part {
+		if err := e.chainEmit(chain, c.chain, 0, r, route); err != nil {
+			fail(err)
+			st.bytes.Add(int64(local))
+			return
+		}
+	}
+	// Flush the partial tail batches (always non-empty: a batch is only
+	// allocated on first append).
+	for t, b := range acc {
+		if b != nil {
+			acc[t] = nil
+			if err := flush(t, b); err != nil {
+				fail(err)
+				break
+			}
+		}
+	}
+	st.bytes.Add(int64(local))
+}

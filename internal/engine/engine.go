@@ -52,8 +52,14 @@ type OpStats struct {
 	OutRecords   int
 	ShippedBytes int // bytes moved by non-forward shipping
 	UDFCalls     int
-	ShipTime     time.Duration // wall time spent shipping inputs
-	LocalTime    time.Duration // wall time spent in the local strategy
+	// CombinerCalls counts pre-shuffle partial-aggregation (combiner) UDF
+	// invocations the shuffle senders performed on the operator's behalf.
+	// They are tracked separately from UDFCalls so a combined and an
+	// uncombined run of the same plan report identical UDFCalls (the final
+	// aggregation sees the same key groups either way).
+	CombinerCalls int
+	ShipTime      time.Duration // wall time spent shipping inputs
+	LocalTime     time.Duration // wall time spent in the local strategy
 }
 
 // RunStats aggregates statistics of a plan execution.
@@ -70,7 +76,8 @@ func (r *RunStats) TotalShippedBytes() int {
 	return n
 }
 
-// TotalUDFCalls sums UDF invocations over all operators.
+// TotalUDFCalls sums UDF invocations over all operators (combiner calls
+// excluded; see TotalCombinerCalls).
 func (r *RunStats) TotalUDFCalls() int {
 	n := 0
 	for _, s := range r.PerOp {
@@ -79,12 +86,26 @@ func (r *RunStats) TotalUDFCalls() int {
 	return n
 }
 
+// TotalCombinerCalls sums pre-shuffle combiner invocations over all
+// operators.
+func (r *RunStats) TotalCombinerCalls() int {
+	n := 0
+	for _, s := range r.PerOp {
+		n += s.CombinerCalls
+	}
+	return n
+}
+
 // String renders a per-operator summary.
 func (r *RunStats) String() string {
 	var b []byte
 	for _, s := range r.PerOp {
-		b = fmt.Appendf(b, "%-24s in=%-9d out=%-9d shipped=%-11d calls=%-9d ship=%-12v local=%v\n",
+		b = fmt.Appendf(b, "%-24s in=%-9d out=%-9d shipped=%-11d calls=%-9d ship=%-12v local=%v",
 			s.Name, s.InRecords, s.OutRecords, s.ShippedBytes, s.UDFCalls, s.ShipTime, s.LocalTime)
+		if s.CombinerCalls > 0 {
+			b = fmt.Appendf(b, " combine=%d", s.CombinerCalls)
+		}
+		b = append(b, '\n')
 	}
 	return string(b)
 }
@@ -149,6 +170,13 @@ func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, erro
 	// of materializing each intermediate stage.
 	if isChainable(p) {
 		return e.execChain(p, stats)
+	}
+
+	// A combinable Reduce — together with any maximal chain of fused Maps
+	// feeding it — executes through the combining sender loop: Map →
+	// combine → ship in one pass, no intermediate partitions.
+	if e.isCombinableReduce(p) {
+		return e.execCombinedReduce(p, stats)
 	}
 
 	// Execute inputs first (post-order).
@@ -341,6 +369,49 @@ func isChainable(p *optimizer.PhysPlan) bool {
 		len(p.Inputs) == 1 && len(p.Ship) == 1 && p.Ship[0] == optimizer.ShipForward
 }
 
+// chainBelow collects the maximal run of chained Map plan nodes starting at
+// p (walking producer-wards while isChainable holds) and returns the run in
+// execution (producer-first) order together with the pipeline breaker below
+// it. Both fused execution paths — execChain and execCombinedReduce — share
+// it so the notion of "maximal chain" cannot diverge.
+func chainBelow(p *optimizer.PhysPlan) ([]*optimizer.PhysPlan, *optimizer.PhysPlan) {
+	var chain []*optimizer.PhysPlan
+	node := p
+	for isChainable(node) {
+		chain = append(chain, node)
+		node = node.Inputs[0]
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, node
+}
+
+// chainEmit pushes one record into the fused Map chain at the given level,
+// tallies exact per-level counts, and cascades every record leaving the
+// chain into sink. It is the record-at-a-time inner loop shared by the
+// chained-Map executor (sink appends to the output partition) and the
+// combining shuffle senders (sink routes into per-target batches).
+func (e *Engine) chainEmit(chain []*optimizer.PhysPlan, c []opCount, level int, r record.Record, sink func(record.Record) error) error {
+	if level == len(chain) {
+		return sink(r)
+	}
+	op := chain[level].Op
+	c[level].in++
+	res, err := e.interp.InvokeMap(op.UDF, r)
+	if err != nil {
+		return fmt.Errorf("engine: %s: %w", op.Name, err)
+	}
+	c[level].calls++
+	c[level].out += len(res)
+	for _, rr := range res {
+		if err := e.chainEmit(chain, c, level+1, rr, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // execChain executes a maximal run of chained Map operators (p is the
 // topmost) fused into a single per-partition loop. Records flow through the
 // whole chain one at a time; only the final output is materialized, so a
@@ -348,24 +419,13 @@ func isChainable(p *optimizer.PhysPlan) bool {
 // statistics are still collected: records in/out and UDF calls exactly, and
 // the fused loop's wall time attributed evenly across the chain's operators.
 func (e *Engine) execChain(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
-	// Walk down the run of fused Maps to the pipeline breaker below it.
-	var chain []*optimizer.PhysPlan
-	node := p
-	for isChainable(node) {
-		chain = append(chain, node)
-		node = node.Inputs[0]
-	}
+	chain, node := chainBelow(p)
 	base, err := e.exec(node, stats)
 	if err != nil {
 		return nil, err
 	}
-	// Reverse into execution (producer-first) order.
-	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-		chain[i], chain[j] = chain[j], chain[i]
-	}
 
 	nOps := len(chain)
-	type opCount struct{ in, out, calls int }
 	out := make(Partitioned, len(base))
 	counts := make([][]opCount, len(base))
 	errs := make([]error, len(base))
@@ -377,31 +437,12 @@ func (e *Engine) execChain(p *optimizer.PhysPlan, stats *RunStats) (Partitioned,
 			defer wg.Done()
 			c := make([]opCount, nOps)
 			counts[i] = c
-			// emit pushes one record into the chain at the given level and
-			// cascades its outputs upward.
-			var emit func(level int, r record.Record) error
-			emit = func(level int, r record.Record) error {
-				if level == nOps {
-					out[i] = append(out[i], r)
-					return nil
-				}
-				op := chain[level].Op
-				c[level].in++
-				res, err := e.interp.InvokeMap(op.UDF, r)
-				if err != nil {
-					return fmt.Errorf("engine: %s: %w", op.Name, err)
-				}
-				c[level].calls++
-				c[level].out += len(res)
-				for _, rr := range res {
-					if err := emit(level+1, rr); err != nil {
-						return err
-					}
-				}
+			sink := func(r record.Record) error {
+				out[i] = append(out[i], r)
 				return nil
 			}
 			for _, r := range base[i] {
-				if errs[i] = emit(0, r); errs[i] != nil {
+				if errs[i] = e.chainEmit(chain, c, 0, r, sink); errs[i] != nil {
 					return
 				}
 			}

@@ -93,6 +93,15 @@ type PhysPlan struct {
 	// their own execution shape.
 	Chained bool
 
+	// Combinable marks a shuffled Reduce whose declared combiner passed the
+	// read/write-set safety check (props.CombinerSafe): the engine applies
+	// the combiner to every per-target batch on the shuffle senders before
+	// flushing, shipping at most one record per (group key, target) per
+	// flush window. Like Chained, it is an engine contract computed during
+	// physical optimization; plans without the annotation ship every
+	// record.
+	Combinable bool
+
 	// Partitioned is the set of key attributes the output is
 	// hash-partitioned by (nil/empty when unpartitioned) — the interesting
 	// property tracked during physical optimization.
@@ -115,6 +124,9 @@ func (p *PhysPlan) String() string {
 	suffix := ""
 	if p.Chained {
 		suffix = ";chained"
+	}
+	if p.Combinable {
+		suffix += ";combine"
 	}
 	return fmt.Sprintf("%s{%s;%s%s}", p.Op.Name, strings.Join(ships, ","), p.Local, suffix)
 }
@@ -245,14 +257,28 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 
 	case dataflow.KindReduce:
 		key := op.KeySet(0)
+		// The combiner declaration is only honored when it survives the
+		// read/write-set safety check against the attributes actually
+		// present on the input edge (Section 5's derived properties gate
+		// the rewrite, not the declaration alone).
+		combSafe := op.Combiner != nil &&
+			props.CombinerSafe(op.CombinerEffect, key, t.Kids[0].Attrs())
 		for _, in := range po.plans(t.Kids[0], memo) {
 			ship := ShipPartition
 			net := in.OutBytes
+			combinable := false
 			// Interesting property: a compatible existing partitioning
 			// makes the shuffle unnecessary (records with equal reduce keys
 			// are already co-located).
 			if in.Partitioned.Len() > 0 && in.Partitioned.SubsetOf(key) {
 				ship, net = ShipForward, 0
+			} else if combSafe {
+				// Pre-shuffle partial aggregation: each of DOP senders
+				// ships at most one record per group key per flush window,
+				// so the shuffle volume is bounded by key cardinality, not
+				// input cardinality.
+				combinable = true
+				net = po.combinedShuffleBytes(op, in)
 			}
 			for _, local := range []Local{LocalSortGroup, LocalHashGroup} {
 				n := in.OutRecords
@@ -262,9 +288,14 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 				} else {
 					localCPU = cpuHashFactor * n
 				}
+				if combinable {
+					// Sender-side grouping and combiner calls are hash
+					// work over the full input.
+					localCPU += cpuHashFactor * n
+				}
 				out = append(out, &PhysPlan{
 					Op: op, Tree: t, Inputs: []*PhysPlan{in},
-					Ship: []Shipping{ship}, Local: local,
+					Ship: []Shipping{ship}, Local: local, Combinable: combinable,
 					Partitioned: key.Clone(),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
 					Cost: in.Cost.Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + localCPU}),
@@ -330,6 +361,22 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 	out = po.prune(out)
 	memo[t.Key()] = out
 	return out
+}
+
+// combinedShuffleBytes estimates the shuffle volume of a combinable Reduce:
+// every sender ships at most one partial record per group key, so the moved
+// bytes are bounded by keyCardinality × DOP records of the input's average
+// width (and never exceed the uncombined volume). Flush-window re-emission
+// of hot keys is ignored — the estimate is a lower-bound-flavored hint in
+// the same spirit as the rest of the hint-driven model.
+func (po *PhysicalOptimizer) combinedShuffleBytes(op *dataflow.Operator, in *PhysPlan) float64 {
+	width := in.OutBytes / math.Max(in.OutRecords, 1)
+	kc := op.Hints.KeyCardinality
+	if kc <= 0 {
+		kc = in.OutRecords
+	}
+	recs := math.Min(in.OutRecords, kc*float64(po.DOP))
+	return recs * width
 }
 
 // joinPlans enumerates the Match strategies of the paper's Section 7.3

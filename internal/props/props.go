@@ -302,6 +302,31 @@ func (e *Effect) KGPGroup(key FieldSet) bool {
 	return e.CondReads.SubsetOf(key)
 }
 
+// CombinerSafe decides whether a Reduce grouping on key may apply a
+// combiner with effect e on the shuffle senders (pre-shuffle partial
+// aggregation). Two properties, both checked against the combiner's
+// derived read/write-set behaviour rather than trusted from the
+// declaration, make the rewrite safe:
+//
+//   - the combiner emits exactly one record per partial group: emitting
+//     zero would drop data before the final aggregate sees it, emitting
+//     more would not shrink the shuffle and could duplicate it;
+//   - the combiner's resolved write set is disjoint from the grouping key
+//     (given the attributes present on the input edge), so a partial
+//     record hashes to the same target partition — and lands in the same
+//     final group — as the raw records it stands for.
+//
+// Whether the (combiner, reducer) pair is a genuine decomposition of the
+// aggregate is the declarer's contract, exactly like the paper's manual
+// annotations; CombinerSafe rules out the declarations that would break
+// routing or cardinality regardless of that contract.
+func CombinerSafe(e *Effect, key FieldSet, input FieldSet) bool {
+	if e == nil || !e.EmitsExactlyOne() {
+		return false
+	}
+	return Disjoint(e.ResolveWrite([]FieldSet{input}), key)
+}
+
 // String summarizes the effect.
 func (e *Effect) String() string {
 	var b strings.Builder

@@ -232,3 +232,49 @@ func TestQuickSetAlgebra(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCombinerSafe pins the two gates of the pre-shuffle aggregation
+// safety check: exactly-one emission and a write set disjoint from the
+// grouping key.
+func TestCombinerSafe(t *testing.T) {
+	key := NewFieldSet(0)
+	input := NewFieldSet(0, 1, 2)
+
+	ok := NewEffect(1)
+	ok.CopiesParam[0] = true
+	ok.Sets = NewFieldSet(1)
+	ok.EmitMin, ok.EmitMax = 1, 1
+	if !CombinerSafe(ok, key, input) {
+		t.Error("exactly-one, key-preserving combiner rejected")
+	}
+
+	keyWriter := ok.Clone()
+	keyWriter.Sets = NewFieldSet(0, 1)
+	if CombinerSafe(keyWriter, key, input) {
+		t.Error("key-writing combiner accepted")
+	}
+
+	// An implicitly projecting combiner (no CopiesParam) writes every
+	// input attribute, including the key.
+	projecting := ok.Clone()
+	projecting.CopiesParam[0] = false
+	if CombinerSafe(projecting, key, input) {
+		t.Error("implicitly projecting combiner accepted: its write set covers the key")
+	}
+
+	filter := ok.Clone()
+	filter.EmitMin = 0
+	if CombinerSafe(filter, key, input) {
+		t.Error("0-or-1 emitter accepted: dropping a partial group loses data")
+	}
+
+	multi := ok.Clone()
+	multi.EmitMax = Unbounded
+	if CombinerSafe(multi, key, input) {
+		t.Error("unbounded emitter accepted")
+	}
+
+	if CombinerSafe(nil, key, input) {
+		t.Error("nil effect accepted")
+	}
+}

@@ -358,6 +358,17 @@ func (r Record) Equal(o Record) bool {
 	return true
 }
 
+// EqualOn reports whether r and o agree on the given fields — the
+// allocation-free equivalent of comparing the two Project(fields) records.
+func (r Record) EqualOn(o Record, fields []int) bool {
+	for _, f := range fields {
+		if !r.Field(f).Equal(o.Field(f)) {
+			return false
+		}
+	}
+	return true
+}
+
 // Compare orders records lexicographically; shorter records order first on
 // equal prefixes.
 func (r Record) Compare(o Record) int {
