@@ -183,21 +183,40 @@ func Optimize(f *Flow, dop int) (*PhysPlan, error) {
 	return ranked[0].Phys, nil
 }
 
+// OptimizeBudget is Optimize with a memory budget (bytes; zero =
+// unlimited): the cost model charges shuffled grouping operators whose
+// receiver volume exceeds the budget for sorting, spilling, and externally
+// merging the overflow, so enumeration prefers combinable and
+// forward-shipping plans exactly when memory is tight. Pair it with an
+// engine whose MemoryBudget is set to the same value.
+func OptimizeBudget(f *Flow, dop int, memoryBudget int) (*PhysPlan, error) {
+	tree, err := optimizer.FromFlow(f)
+	if err != nil {
+		return nil, err
+	}
+	ranked := optimizer.RankAllBudget(tree, optimizer.NewEstimator(f), dop, float64(memoryBudget))
+	return ranked[0].Phys, nil
+}
+
 // Engine re-exports.
 type (
 	// Engine executes physical plans on a multi-goroutine shared-nothing
-	// runtime with a batched shuffle, fused Map chains, and pre-shuffle
-	// partial aggregation for combinable Reduces (see DESIGN.md).
+	// runtime with a batched shuffle, fused Map chains, pre-shuffle partial
+	// aggregation for combinable Reduces, and — when Engine.MemoryBudget is
+	// set — spill-to-disk external grouping for working sets larger than
+	// memory (see DESIGN.md).
 	Engine = engine.Engine
-	// RunStats reports per-operator records, shipped bytes, UDF calls, and
-	// combiner calls.
+	// RunStats reports per-operator records, shipped bytes, UDF calls,
+	// combiner calls, and spill activity (SpilledBytes, SpillRuns).
 	RunStats = engine.RunStats
 	// OpStats are the runtime statistics of one operator execution.
 	OpStats = engine.OpStats
 )
 
 // NewEngine returns an execution engine with the given degree of
-// parallelism.
+// parallelism. Chain WithMemoryBudget to bound the resident bytes of
+// grouping shuffle receivers (spilling the overflow to sorted disk runs)
+// and WithNetBandwidth to simulate a cluster interconnect.
 func NewEngine(dop int) *Engine { return engine.New(dop) }
 
 // SamplingOptions configure DeriveHintsBySampling.

@@ -463,6 +463,11 @@ func BenchmarkShuffle(b *testing.B) {
 						out.Records(), bytes, n, total)
 				}
 			}
+			// Uniform engine metrics (see cmd/benchguard): every engine
+			// benchmark reports shipped and spilled bytes per op, so the CI
+			// regression comparison has one source of truth.
+			b.ReportMetric(float64(total), "shipped-B/op")
+			b.ReportMetric(0, "spilled-B/op")
 		})
 	}
 }
@@ -542,7 +547,7 @@ func reduce wcount($g) {
 			e.AddSource("words", data)
 			b.ReportAllocs()
 			b.ResetTimer()
-			var shipped int
+			var shipped, spilled int
 			for i := 0; i < b.N; i++ {
 				out, stats, err := e.Run(plan)
 				if err != nil {
@@ -552,8 +557,97 @@ func reduce wcount($g) {
 					b.Fatalf("reduce emitted %d records, want %d", len(out), words)
 				}
 				shipped = stats.TotalShippedBytes()
+				spilled = stats.TotalSpilledBytes()
 			}
 			b.ReportMetric(float64(shipped), "shipped-B/op")
+			b.ReportMetric(float64(spilled), "spilled-B/op")
+		})
+	}
+}
+
+// BenchmarkSpill measures the out-of-core grouping path on a
+// constrained-budget wordcount at DOP 8: 200k records over 20k distinct
+// words (low duplication, so no combiner can shrink the stream), summed per
+// word. "in-memory" runs with no MemoryBudget; "spill" runs the identical
+// plan under a 256 KiB budget (~5 MB working set, forcing multiple sorted
+// runs per partition and an external merge). The overhead ratio and the
+// spilled-byte volume are recorded in BENCH_spill.json; output equivalence
+// is pinned by TestSpillReduceEquivalence.
+func BenchmarkSpill(b *testing.B) {
+	const (
+		n     = 200000
+		words = 20000
+	)
+	prog := tac.MustParse(`
+func reduce wcount($g) {
+	$first := groupget $g 0
+	$or := copyrec $first
+	$s := agg sum $g 1
+	setfield $or 1 $s
+	emit $or
+}
+`)
+	udf, _ := prog.Lookup("wcount")
+	f := dataflow.NewFlow()
+	src := f.Source("words", []string{"word", "n"},
+		dataflow.Hints{Records: n, AvgWidthBytes: 25})
+	red := f.Reduce("wcount", udf, []string{"word"}, src,
+		dataflow.Hints{KeyCardinality: words})
+	f.SetSink("out", red)
+	if err := f.DeriveEffects(false); err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(f), 8).Optimize(tree)
+
+	rng := rand.New(rand.NewSource(42))
+	data := make(record.DataSet, n)
+	distinct := map[int]struct{}{}
+	for i := range data {
+		w := rng.Intn(words)
+		distinct[w] = struct{}{}
+		data[i] = record.Record{
+			record.String(fmt.Sprintf("word%05d", w)),
+			record.Int(1),
+		}
+	}
+
+	for _, mode := range []struct {
+		name   string
+		budget int
+	}{
+		{"in-memory", 0},
+		{"spill", 256 << 10},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := engine.New(8)
+			e.MemoryBudget = mode.budget
+			e.SpillDir = b.TempDir()
+			e.AddSource("words", data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var shipped, spilled, runs int
+			for i := 0; i < b.N; i++ {
+				out, stats, err := e.Run(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != len(distinct) {
+					b.Fatalf("reduce emitted %d records, want %d", len(out), len(distinct))
+				}
+				shipped = stats.TotalShippedBytes()
+				spilled = stats.TotalSpilledBytes()
+				runs = stats.TotalSpillRuns()
+			}
+			if mode.budget > 0 && runs == 0 {
+				b.Fatal("budgeted benchmark never spilled")
+			}
+			b.ReportMetric(float64(shipped), "shipped-B/op")
+			b.ReportMetric(float64(spilled), "spilled-B/op")
+			b.ReportMetric(float64(runs), "spill-runs/op")
 		})
 	}
 }

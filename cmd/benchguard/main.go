@@ -1,0 +1,182 @@
+// Command benchguard closes the loop between the committed BENCH_*.json
+// baselines and CI: it runs the engine micro-benchmarks (shuffle, combiner,
+// spill), recomputes the headline ratios, and fails when a freshly measured
+// ratio regresses by more than the threshold (default 25%) against the
+// committed baseline.
+//
+// Ratios — batched-vs-per-record throughput, combined-vs-plain shipped
+// bytes, spill-vs-in-memory runtime — are compared rather than absolute
+// ns/op because CI machines differ from the machines the baselines were
+// measured on; a ratio between two modes of the same benchmark on the same
+// host cancels the hardware out. Deterministic byte metrics (shipped and
+// spilled bytes per op) are compared directly with a tight tolerance.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard [-benchtime 300ms] [-threshold 0.25] [-out BENCH_fresh.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's parsed "value unit" pairs (ns/op,
+// shipped-B/op, spilled-B/op, ...).
+type metrics map[string]float64
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// parseBench extracts per-benchmark metrics from `go test -bench` output.
+// The trailing -N GOMAXPROCS suffix is stripped from names.
+func parseBench(out string) map[string]metrics {
+	res := map[string]metrics{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		vals := metrics{}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			vals[fields[i+1]] = v
+		}
+		res[name] = vals
+	}
+	return res
+}
+
+// baselineRatio digs ratios.<key> out of a committed BENCH_*.json.
+func baselineRatio(path, key string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		Ratios map[string]float64 `json:"ratios"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	v, ok := doc.Ratios[key]
+	if !ok {
+		return 0, fmt.Errorf("%s: no ratios.%s", path, key)
+	}
+	return v, nil
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "300ms", "benchtime passed to go test")
+	threshold := flag.Float64("threshold", 0.25, "max allowed relative ratio regression")
+	outPath := flag.String("out", "BENCH_fresh.json", "where to write the freshly measured summary (empty to skip)")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", ".", "-run", "NONE",
+		"-bench", "BenchmarkShuffle/|BenchmarkCombiner/|BenchmarkSpill/",
+		"-benchtime", *benchtime)
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: go test failed: %v\n%s\n", err, raw)
+		os.Exit(1)
+	}
+	bench := parseBench(string(raw))
+
+	need := func(name string) metrics {
+		m, ok := bench[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from bench output:\n%s\n", name, raw)
+			os.Exit(1)
+		}
+		return m
+	}
+	shufBatched := need("BenchmarkShuffle/batched")
+	shufLegacy := need("BenchmarkShuffle/per-record")
+	combOn := need("BenchmarkCombiner/combined")
+	combOff := need("BenchmarkCombiner/no-combiner")
+	spillOn := need("BenchmarkSpill/spill")
+	spillOff := need("BenchmarkSpill/in-memory")
+
+	fresh := map[string]float64{
+		"shuffle_throughput":             shufLegacy["ns/op"] / shufBatched["ns/op"],
+		"combiner_shipped_reduction":     combOff["shipped-B/op"] / combOn["shipped-B/op"],
+		"spill_runtime_overhead":         spillOn["ns/op"] / spillOff["ns/op"],
+		"spill_spilled_bytes":            spillOn["spilled-B/op"],
+		"spill_runs":                     spillOn["spill-runs/op"],
+		"shuffle_batched_ns_per_op":      shufBatched["ns/op"],
+		"combiner_combined_shipped_B_op": combOn["shipped-B/op"],
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: "+format+"\n", args...)
+		failed = true
+	}
+	check := func(label, path, key string, freshVal float64, lowerIsBetter bool) {
+		base, err := baselineRatio(path, key)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		if lowerIsBetter {
+			if freshVal > base*(1+*threshold) {
+				fail("%s regressed: fresh %.3f vs baseline %.3f (max %.3f)",
+					label, freshVal, base, base*(1+*threshold))
+				return
+			}
+		} else if freshVal < base*(1-*threshold) {
+			fail("%s regressed: fresh %.3f vs baseline %.3f (min %.3f)",
+				label, freshVal, base, base*(1-*threshold))
+			return
+		}
+		fmt.Printf("benchguard: ok: %-30s fresh %.3f, baseline %.3f\n", label, freshVal, base)
+	}
+
+	check("shuffle throughput ratio", "BENCH_shuffle.json", "throughput",
+		fresh["shuffle_throughput"], false)
+	check("combiner shipped-bytes ratio", "BENCH_combiner.json", "shipped_bytes_reduction",
+		fresh["combiner_shipped_reduction"], false)
+	check("spill runtime overhead", "BENCH_spill.json", "runtime_overhead",
+		fresh["spill_runtime_overhead"], true)
+
+	// Deterministic sanity: the budgeted wordcount must actually spill, and
+	// the in-memory twin must not.
+	if fresh["spill_spilled_bytes"] <= 0 || fresh["spill_runs"] <= 0 {
+		fail("BenchmarkSpill/spill reports no spill activity (bytes=%.0f runs=%.0f)",
+			fresh["spill_spilled_bytes"], fresh["spill_runs"])
+	}
+	if v := spillOff["spilled-B/op"]; v != 0 {
+		fail("BenchmarkSpill/in-memory spilled %.0f bytes, want 0", v)
+	}
+
+	if *outPath != "" {
+		enc, _ := json.MarshalIndent(map[string]any{
+			"note":      "freshly measured by cmd/benchguard; compare against the committed BENCH_*.json baselines",
+			"benchtime": *benchtime,
+			"measured":  fresh,
+		}, "", "  ")
+		if err := os.WriteFile(*outPath, append(enc, '\n'), 0o644); err != nil {
+			fail("writing %s: %v", *outPath, err)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all ratios within threshold")
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	flowopt -task q7|q15|clickstream|textmine [-mode sca|manual] [-dop N] <action>
+//	flowopt -task q7|q15|clickstream|textmine [-mode sca|manual] [-dop N] [-membudget BYTES] <action>
 //
 // Actions:
 //
@@ -34,6 +34,7 @@ func main() {
 	task := flag.String("task", "q15", "task: q7, q15, clickstream, textmine")
 	mode := flag.String("mode", "sca", "annotation mode: sca or manual")
 	dop := flag.Int("dop", 4, "degree of parallelism")
+	budget := flag.Int("membudget", 0, "memory budget in bytes for grouping shuffle receivers (0 = unlimited); applied to both the cost model and the engine")
 	flag.Parse()
 
 	action := flag.Arg(0)
@@ -72,7 +73,7 @@ func main() {
 		}
 		est := optimizer.NewEstimator(flow)
 		start := time.Now()
-		ranked := optimizer.RankAll(tree, est, *dop)
+		ranked := optimizer.RankAllBudget(tree, est, *dop, float64(*budget))
 		fmt.Printf("%d plans enumerated and costed in %v\n", len(ranked), time.Since(start).Round(time.Millisecond))
 		show := ranked
 		if len(show) > 20 {
@@ -95,7 +96,7 @@ func main() {
 			fatal(err)
 		}
 		est := optimizer.NewEstimator(flow)
-		ranked := optimizer.RankAll(tree, est, *dop)
+		ranked := optimizer.RankAllBudget(tree, est, *dop, float64(*budget))
 		fmt.Printf("best of %d plans (cost %.0f):\n\n%s", len(ranked), ranked[0].Cost, ranked[0].Phys.Indent())
 
 	case "run":
@@ -104,8 +105,8 @@ func main() {
 			fatal(err)
 		}
 		est := optimizer.NewEstimator(flow)
-		ranked := optimizer.RankAll(tree, est, *dop)
-		e := engine.New(*dop)
+		ranked := optimizer.RankAllBudget(tree, est, *dop, float64(*budget))
+		e := engine.New(*dop).WithMemoryBudget(*budget)
 		for name, ds := range data {
 			e.AddSource(name, ds)
 		}

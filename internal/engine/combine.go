@@ -55,10 +55,11 @@ func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Par
 	}
 
 	shipStart := time.Now()
-	shuffled, counts, bytes, err := e.combineShuffle(base, chain, op, keys)
+	shuffled, spills, counts, bytes, err := e.combineShuffle(base, chain, op, keys)
 	if err != nil {
 		return nil, err
 	}
+	defer closeSpills(spills)
 	if e.NetBandwidth > 0 && bytes > 0 {
 		want := time.Duration(float64(bytes) / e.NetBandwidth * float64(time.Second))
 		if elapsed := time.Since(shipStart); want > elapsed {
@@ -68,7 +69,16 @@ func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Par
 	shipElapsed := time.Since(shipStart)
 
 	localStart := time.Now()
-	out, calls, err := e.local(p, []Partitioned{shuffled})
+	var out Partitioned
+	var calls int
+	if spills != nil {
+		// Memory-budgeted run: receivers may have spilled sorted runs of
+		// already-combined records; the final aggregation merges them
+		// externally (same canonical group order as the in-memory path).
+		out, calls, err = e.localReduceSpilled(p, shuffled, spills)
+	} else {
+		out, calls, err = e.local(p, []Partitioned{shuffled})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +109,12 @@ func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Par
 		st.InRecords += counts[si].combineIn
 		st.CombinerCalls += counts[si].combinerCalls
 	}
+	for _, sp := range spills {
+		if sp != nil {
+			st.SpilledBytes += sp.bytes
+			st.SpillRuns += len(sp.runs)
+		}
+	}
 	stats.PerOp = append(stats.PerOp, st)
 	return out, nil
 }
@@ -106,9 +122,14 @@ func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Par
 // combineShuffle is the combining variant of shuffle: same channel topology
 // (one sender per source partition, one collector per target), but each
 // sender runs the fused Map chain and partially aggregates every per-target
-// batch before flushing it. Collectors are the plain shuffleCollect — a
-// combined batch needs no special handling on the receiving side.
-func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int) (Partitioned, []combineCounts, int, error) {
+// batch before flushing it. With no memory budget the collectors are the
+// plain shuffleCollect — a combined batch needs no special handling on the
+// receiving side. Under a budget the collectors are the spill-tracking
+// spillCollect, so combining and spilling compose: senders shrink the
+// stream first, receivers spill only what still overflows, and every
+// spilled run consists of already partially aggregated records. The
+// returned spills slice is nil when no budget is set.
+func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int) (Partitioned, []*partitionSpill, []combineCounts, int, error) {
 	dop := e.DOP
 	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
 	for i := range st.chans {
@@ -126,8 +147,18 @@ func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op 
 	// Combined partition sizes depend on the key distribution, unknowable
 	// here; start small and let append growth track the actual volume.
 	out := make(Partitioned, dop)
-	for i := range st.chans {
-		go shuffleCollect(st, out, i, 64)
+	var spills []*partitionSpill
+	if e.MemoryBudget > 0 {
+		spills = make([]*partitionSpill, dop)
+		budget := e.MemoryBudget / dop
+		for i := range st.chans {
+			spills[i] = &partitionSpill{}
+			go e.spillCollect(st, out, spills[i], i, keys, budget)
+		}
+	} else {
+		for i := range st.chans {
+			go shuffleCollect(st, out, i, 64)
+		}
 	}
 	st.senders.Wait()
 	for _, c := range st.chans {
@@ -136,10 +167,17 @@ func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op 
 	st.collectors.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, 0, err
+			closeSpills(spills)
+			return nil, nil, nil, 0, err
 		}
 	}
-	return out, counts, int(st.bytes.Load()), nil
+	for _, sp := range spills {
+		if sp.err != nil {
+			closeSpills(spills)
+			return nil, nil, nil, 0, sp.err
+		}
+	}
+	return out, spills, counts, int(st.bytes.Load()), nil
 }
 
 // combineSend is one sender of a combining shuffle: it cascades each record

@@ -9,6 +9,16 @@
 // grouping, nested loops) process each partition in its own goroutine. The
 // engine records per-operator statistics — records, shipped bytes, UDF
 // calls — so experiments can relate estimated costs to observed work.
+//
+// The engine is memory-budgeted: when Engine.MemoryBudget is set, shuffle
+// receivers feeding a grouping operator (Reduce, CoGroup) track resident
+// bytes per partition and, on overflow, sort the buffered records by the
+// grouping key and spill them to disk as a sorted run (internal/spill);
+// the local strategy then switches to external sort-merge grouping over
+// the merged runs, so grouping working sets larger than memory complete
+// with bounded resident bytes and byte-identical output. Combiners keep
+// running on the senders pre-spill, so spilled runs are already partially
+// aggregated. See DESIGN.md ("Memory model & spilling").
 package engine
 
 import (
@@ -58,8 +68,14 @@ type OpStats struct {
 	// uncombined run of the same plan report identical UDFCalls (the final
 	// aggregation sees the same key groups either way).
 	CombinerCalls int
-	ShipTime      time.Duration // wall time spent shipping inputs
-	LocalTime     time.Duration // wall time spent in the local strategy
+	// SpilledBytes counts bytes written to disk by budget-overflowing
+	// shuffle receivers (run framing included); SpillRuns counts the sorted
+	// runs those receivers wrote. Both are zero when the operator's working
+	// set fit within Engine.MemoryBudget (or no budget was set).
+	SpilledBytes int
+	SpillRuns    int
+	ShipTime     time.Duration // wall time spent shipping inputs
+	LocalTime    time.Duration // wall time spent in the local strategy
 }
 
 // RunStats aggregates statistics of a plan execution.
@@ -96,6 +112,25 @@ func (r *RunStats) TotalCombinerCalls() int {
 	return n
 }
 
+// TotalSpilledBytes sums disk bytes written by overflowing shuffle
+// receivers over all operators.
+func (r *RunStats) TotalSpilledBytes() int {
+	n := 0
+	for _, s := range r.PerOp {
+		n += s.SpilledBytes
+	}
+	return n
+}
+
+// TotalSpillRuns sums sorted on-disk runs written over all operators.
+func (r *RunStats) TotalSpillRuns() int {
+	n := 0
+	for _, s := range r.PerOp {
+		n += s.SpillRuns
+	}
+	return n
+}
+
 // String renders a per-operator summary.
 func (r *RunStats) String() string {
 	var b []byte
@@ -104,6 +139,9 @@ func (r *RunStats) String() string {
 			s.Name, s.InRecords, s.OutRecords, s.ShippedBytes, s.UDFCalls, s.ShipTime, s.LocalTime)
 		if s.CombinerCalls > 0 {
 			b = fmt.Appendf(b, " combine=%d", s.CombinerCalls)
+		}
+		if s.SpillRuns > 0 {
+			b = fmt.Appendf(b, " spilled=%d(runs=%d)", s.SpilledBytes, s.SpillRuns)
 		}
 		b = append(b, '\n')
 	}
@@ -119,8 +157,26 @@ type Engine struct {
 
 	// LegacyShuffle routes ShipPartition through the pre-batching
 	// record-at-a-time sender instead of the batched one. Retained only so
-	// regression tests and benchmarks can compare the two paths.
+	// regression tests and benchmarks can compare the two paths. The legacy
+	// path predates batching, combining, and spilling, so setting it also
+	// disables pre-shuffle aggregation and out-of-core grouping — exactly
+	// what a baseline should do.
 	LegacyShuffle bool
+
+	// MemoryBudget caps the resident bytes (record wire encoding, the same
+	// unit as ShippedBytes) that shuffle receivers feeding a grouping
+	// operator may buffer, summed across the operator's partitions; each of
+	// the DOP partitions gets an equal share. On overflow a partition sorts
+	// its buffer by the grouping key and spills it to disk as a sorted run,
+	// and the operator's local strategy switches to external sort-merge
+	// grouping over the merged runs. Zero (the default) disables spilling:
+	// everything stays in memory.
+	MemoryBudget int
+
+	// SpillDir is where spill files are created; empty means the OS temp
+	// directory. Files are unlinked as soon as the operator that wrote them
+	// finishes.
+	SpillDir string
 
 	// NetBandwidth simulates a cluster interconnect: when positive, every
 	// non-forward shipping step takes at least shippedBytes/NetBandwidth
@@ -146,6 +202,13 @@ func New(dop int) *Engine {
 // second and returns the engine.
 func (e *Engine) WithNetBandwidth(bytesPerSec float64) *Engine {
 	e.NetBandwidth = bytesPerSec
+	return e
+}
+
+// WithMemoryBudget caps the resident bytes of grouping shuffle receivers
+// (see MemoryBudget) and returns the engine.
+func (e *Engine) WithMemoryBudget(bytes int) *Engine {
+	e.MemoryBudget = bytes
 	return e
 }
 
@@ -177,6 +240,13 @@ func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, erro
 	// combine → ship in one pass, no intermediate partitions.
 	if e.isCombinableReduce(p) {
 		return e.execCombinedReduce(p, stats)
+	}
+
+	// A memory-budgeted shuffled grouping (Reduce, CoGroup) runs through
+	// the spill-capable receivers: resident bytes are tracked per partition
+	// and overflow is sorted and spilled to disk (see spill_exec.go).
+	if e.spillEligible(p) {
+		return e.execSpillGrouped(p, stats)
 	}
 
 	// Execute inputs first (post-order).
@@ -500,18 +570,7 @@ func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned
 	case dataflow.KindReduce:
 		keys := op.Keys[0]
 		return e.perPartition(inputs[0], func(part []record.Record) ([]record.Record, int, error) {
-			groups := groupRecords(part, keys, p.Local == optimizer.LocalSortGroup)
-			var out []record.Record
-			calls := 0
-			for _, g := range groups {
-				res, err := e.interp.InvokeReduce(op.UDF, g)
-				if err != nil {
-					return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
-				}
-				calls++
-				out = append(out, res...)
-			}
-			return out, calls, nil
+			return e.reducePartition(op, part, keys, p.Local == optimizer.LocalSortGroup)
 		})
 
 	case dataflow.KindMatch:
@@ -547,6 +606,25 @@ func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned
 	}
 }
 
+// reducePartition groups one fully resident partition (canonical ascending
+// key order; see groupRecords) and applies the Reduce UDF once per group —
+// the in-memory grouping core shared by the plain local strategy and the
+// spill path's non-overflowing partitions.
+func (e *Engine) reducePartition(op *dataflow.Operator, part []record.Record, keys []int, sortBased bool) ([]record.Record, int, error) {
+	groups := groupRecords(part, keys, sortBased)
+	var out []record.Record
+	calls := 0
+	for _, g := range groups {
+		res, err := e.interp.InvokeReduce(op.UDF, g)
+		if err != nil {
+			return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
+		}
+		calls++
+		out = append(out, res...)
+	}
+	return out, calls, nil
+}
+
 // scatter round-robins source data across partitions.
 func (e *Engine) scatter(data record.DataSet) Partitioned {
 	out := make(Partitioned, e.DOP)
@@ -559,27 +637,9 @@ func (e *Engine) scatter(data record.DataSet) Partitioned {
 
 // perPartition applies fn to every partition concurrently.
 func (e *Engine) perPartition(in Partitioned, fn func([]record.Record) ([]record.Record, int, error)) (Partitioned, int, error) {
-	out := make(Partitioned, len(in))
-	calls := make([]int, len(in))
-	errs := make([]error, len(in))
-	var wg sync.WaitGroup
-	for i := range in {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			out[i], calls[i], errs[i] = fn(in[i])
-		}()
-	}
-	wg.Wait()
-	total := 0
-	for i := range in {
-		if errs[i] != nil {
-			return nil, 0, errs[i]
-		}
-		total += calls[i]
-	}
-	return out, total, nil
+	return e.perPartitionIdx(in, func(_ int, part []record.Record) ([]record.Record, int, error) {
+		return fn(part)
+	})
 }
 
 // perPartition2 applies fn pairwise to the partitions of two inputs.
@@ -699,47 +759,22 @@ func (e *Engine) joinPartition(p *optimizer.PhysPlan, l, r []record.Record) ([]r
 
 // coGroupPartition executes a CoGroup on one partition pair: both sides are
 // grouped by their keys and the UDF is called once per key in the combined
-// key domain.
+// key domain, in ascending key order. It is the in-memory instance of the
+// stream alignment that coGroupAligned implements; the spill path feeds the
+// same alignment from externally merged runs.
 func (e *Engine) coGroupPartition(op *dataflow.Operator, l, r []record.Record, lKeys, rKeys []int) ([]record.Record, int, error) {
-	lGroups := groupRecords(l, lKeys, true)
-	rGroups := groupRecords(r, rKeys, true)
-	type pair struct{ l, r []record.Record }
-	byKey := map[string]*pair{}
-	var order []string
-	keyOf := func(rec record.Record, keys []int) string {
-		return fmt.Sprint(rec.Project(keys))
-	}
-	for _, g := range lGroups {
-		k := keyOf(g[0], lKeys)
-		byKey[k] = &pair{l: g}
-		order = append(order, k)
-	}
-	for _, g := range rGroups {
-		k := keyOf(g[0], rKeys)
-		if p, ok := byKey[k]; ok {
-			p.r = g
-		} else {
-			byKey[k] = &pair{r: g}
-			order = append(order, k)
-		}
-	}
-	sort.Strings(order)
-	var out []record.Record
-	calls := 0
-	for _, k := range order {
-		p := byKey[k]
-		res, err := e.interp.InvokeCoGroup(op.UDF, p.l, p.r)
-		if err != nil {
-			return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
-		}
-		calls++
-		out = append(out, res...)
-	}
-	return out, calls, nil
+	lc := &memGroupCursor{groups: groupRecords(l, lKeys, true)}
+	rc := &memGroupCursor{groups: groupRecords(r, rKeys, true)}
+	return e.coGroupAligned(op, lc, rc, lKeys, rKeys)
 }
 
-// groupRecords groups a partition by key fields, either by sorting (stable,
-// deterministic order) or via a hash map with deterministic iteration. Key
+// groupRecords groups a partition by key fields, either by sorting (one
+// stable sort of the whole partition) or via a hash map (one hash pass plus
+// a sort of the group heads). Both emit groups in ascending key order with
+// records in arrival order within a group — the engine's canonical group
+// order, which the external sort-merge grouping of the spill path produces
+// by construction; a plan therefore yields the same output whether or not
+// any partition overflowed the memory budget (see DESIGN.md). Key
 // projections are computed once per record (decorate-sort-undecorate), not
 // per comparison.
 func groupRecords(part []record.Record, keys []int, sortBased bool) [][]record.Record {
@@ -770,35 +805,35 @@ func groupRecords(part []record.Record, keys []int, sortBased bool) [][]record.R
 		}
 		return groups
 	}
-	m := map[uint64][]int{}
-	var hashes []uint64
-	for i, k := range ks {
+	// Hash-based: bucket by key hash with collision safety (a bucket may
+	// hold several true key groups, told apart by key comparison), then
+	// order the groups — not the records — by key.
+	type group struct {
+		key  record.Record
+		recs []record.Record
+	}
+	var groups []group
+	buckets := map[uint64][]int{}
+	for _, k := range ks {
 		h := k.key.Hash(nil)
-		if _, ok := m[h]; !ok {
-			hashes = append(hashes, h)
-		}
-		m[h] = append(m[h], i)
-	}
-	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
-	var groups [][]record.Record
-	for _, h := range hashes {
-		// Within a hash bucket, split by true key equality (collision
-		// safety).
-		idxs := m[h]
-		for len(idxs) > 0 {
-			head := ks[idxs[0]].key
-			var g []record.Record
-			var rest []int
-			for _, i := range idxs {
-				if ks[i].key.Compare(head) == 0 {
-					g = append(g, ks[i].rec)
-				} else {
-					rest = append(rest, i)
-				}
+		gi := -1
+		for _, idx := range buckets[h] {
+			if groups[idx].key.Compare(k.key) == 0 {
+				gi = idx
+				break
 			}
-			groups = append(groups, g)
-			idxs = rest
 		}
+		if gi < 0 {
+			gi = len(groups)
+			groups = append(groups, group{key: k.key})
+			buckets[h] = append(buckets[h], gi)
+		}
+		groups[gi].recs = append(groups[gi].recs, k.rec)
 	}
-	return groups
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].key.Compare(groups[j].key) < 0 })
+	out := make([][]record.Record, len(groups))
+	for i, g := range groups {
+		out[i] = g.recs
+	}
+	return out
 }

@@ -153,6 +153,132 @@ func TestRandomPipelinesAllPlansEquivalent(t *testing.T) {
 	}
 }
 
+// TestRandomPipelinesTinyBudgetEquivalent is the out-of-core counterpart of
+// the randomized soundness checks: random Map+Reduce pipelines, every
+// enumerated alternative, executed under an artificially tiny MemoryBudget
+// (forcing multi-run external merges on every shuffled grouping) must be
+// byte-identical to the same plan's unlimited-budget run, and bag-equal
+// across alternatives.
+func TestRandomPipelinesTinyBudgetEquivalent(t *testing.T) {
+	const (
+		trials = 25
+		width  = 4
+		nMaps  = 3
+		nRows  = 150
+	)
+	spillDir := t.TempDir()
+	sawSpill := false
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+
+		var src string
+		names := make([]string, nMaps)
+		for i := range names {
+			names[i] = fmt.Sprintf("m%d", i)
+			src += genUDF(rng, names[i], width)
+		}
+		keyField := rng.Intn(width)
+		aggField := rng.Intn(width)
+		src += fmt.Sprintf(`
+func reduce agg($g) {
+	$first := groupget $g 0
+	$or := newrec
+	$k := getfield $first %d
+	setfield $or %d $k
+	$s := agg sum $g %d
+	setfield $or %d $s
+	emit $or
+}`, keyField, keyField, aggField, width)
+
+		prog, err := tac.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+
+		f := dataflow.NewFlow()
+		attrs := make([]string, width+1)
+		for i := 0; i <= width; i++ {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+		node := f.Source("S", attrs[:width], dataflow.Hints{Records: nRows, AvgWidthBytes: float64(9 * width)})
+		f.DeclareAttr(attrs[width])
+		for _, n := range names {
+			fn, _ := prog.Lookup(n)
+			node = f.Map(n, fn, node, dataflow.Hints{})
+		}
+		aggFn, _ := prog.Lookup("agg")
+		node = f.Reduce("agg", aggFn, []string{attrs[keyField]}, node, dataflow.Hints{KeyCardinality: 13})
+		f.SetSink("out", node)
+		if err := f.DeriveEffects(false); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		tree, err := optimizer.FromFlow(f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		alts := optimizer.NewEnumerator().Enumerate(tree)
+
+		data := make(record.DataSet, nRows)
+		for i := range data {
+			r := make(record.Record, width)
+			for j := range r {
+				r[j] = record.Int(int64(rng.Intn(9) - 4))
+			}
+			data[i] = r
+		}
+		e := New(3)
+		e.AddSource("S", data)
+		e.SpillDir = spillDir
+		po := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(f), 3)
+
+		var ref record.DataSet
+		for i, a := range alts {
+			phys := po.Optimize(a)
+
+			e.MemoryBudget = 0
+			unlimited, _, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s: %v", trial, a, err)
+			}
+
+			// ~37 B/record × 150 rows ≈ 5.5 KB through the shuffle; 96
+			// bytes per partition forces a run per received batch.
+			e.MemoryBudget = 96 * e.DOP
+			budgeted, stats, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s (budgeted): %v", trial, a, err)
+			}
+			if stats.TotalSpillRuns() > 0 {
+				sawSpill = true
+			}
+
+			if len(budgeted) != len(unlimited) {
+				t.Fatalf("trial %d plan %s: budgeted %d records, unlimited %d",
+					trial, a, len(budgeted), len(unlimited))
+			}
+			for j := range unlimited {
+				if !budgeted[j].Equal(unlimited[j]) {
+					t.Fatalf("trial %d plan %s: record %d is %v budgeted, %v unlimited\nUDFs:\n%s",
+						trial, a, j, budgeted[j], unlimited[j], src)
+				}
+			}
+
+			if i == 0 {
+				ref = budgeted
+				continue
+			}
+			if !budgeted.Equal(ref) {
+				t.Fatalf("trial %d: budgeted plan %s output differs from %s\nUDFs:\n%s",
+					trial, a, alts[0], src)
+			}
+		}
+	}
+	if !sawSpill {
+		t.Fatal("no trial ever spilled — the tiny budget is not exercising the out-of-core path")
+	}
+}
+
 // TestRandomReducePipelinesEquivalent adds a Reduce with a random key to
 // random Map pipelines, exercising the KGP machinery end to end.
 func TestRandomReducePipelinesEquivalent(t *testing.T) {

@@ -1,0 +1,553 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/spill"
+)
+
+// This file implements the engine's out-of-core execution path: shuffle
+// receivers that track resident bytes against Engine.MemoryBudget and spill
+// sorted runs to disk on overflow, and external sort-merge grouping for
+// Reduce and CoGroup over the merged runs. The invariant that makes the
+// path transparent is canonical group order: in-memory grouping
+// (groupRecords) and the external merge both emit groups in ascending key
+// order with records in arrival order inside a group, so a plan produces
+// byte-identical output whether zero, some, or all partitions overflowed.
+// See DESIGN.md ("Memory model & spilling").
+
+// partitionSpill is one target partition's overflow state: the spill file
+// (created lazily on first overflow), the sorted runs written so far, and
+// the disk bytes they occupy (run framing included).
+type partitionSpill struct {
+	file  *spill.File
+	runs  []spill.Run
+	bytes int
+	err   error
+}
+
+// closeSpills releases the spill files of one shuffle's partitions.
+func closeSpills(spills []*partitionSpill) {
+	for _, sp := range spills {
+		if sp != nil && sp.file != nil {
+			sp.file.Close()
+		}
+	}
+}
+
+// sortByKey stably sorts records by the key fields: ascending key order,
+// arrival order preserved within equal keys.
+func sortByKey(recs []record.Record, keys []int) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].CompareOn(recs[j], keys) < 0 })
+}
+
+// spillEligible reports whether this plan node executes through the
+// budget-tracked, spill-capable shuffle receivers: a grouping operator
+// (Reduce, CoGroup) with at least one hash-partitioned input, under an
+// engine with a memory budget. The legacy record-at-a-time shuffle predates
+// spilling and keeps the fully resident path, exactly as it bypasses
+// batching and combining. Forward-shipped inputs are already resident in
+// the producer's partitions, so there is no receiver to bound; they group
+// in memory as before.
+func (e *Engine) spillEligible(p *optimizer.PhysPlan) bool {
+	if e.MemoryBudget <= 0 || e.LegacyShuffle {
+		return false
+	}
+	switch p.Op.Kind {
+	case dataflow.KindReduce:
+		return len(p.Inputs) == 1 && len(p.Ship) == 1 && p.Ship[0] == optimizer.ShipPartition
+	case dataflow.KindCoGroup:
+		if len(p.Inputs) != 2 || len(p.Ship) != 2 {
+			return false
+		}
+		partitioned := false
+		for _, s := range p.Ship {
+			switch s {
+			case optimizer.ShipPartition:
+				partitioned = true
+			case optimizer.ShipForward:
+			default:
+				return false
+			}
+		}
+		return partitioned
+	}
+	return false
+}
+
+// execSpillGrouped executes a shuffled grouping operator through the
+// spill-capable receivers: every hash-partitioned input is shuffled with
+// budget-tracked collectors, and the local strategy runs external
+// sort-merge grouping on partitions that overflowed. The memory budget is
+// split evenly across the operator's DOP partitions (and across both
+// inputs for a CoGroup shuffling both sides).
+func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+	op := p.Op
+	inputs := make([]Partitioned, len(p.Inputs))
+	for i, in := range p.Inputs {
+		d, err := e.exec(in, stats)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = d
+	}
+
+	st := OpStats{Name: op.Name}
+	for _, in := range inputs {
+		st.InRecords += in.Records()
+	}
+
+	nShuffled := 0
+	for _, s := range p.Ship {
+		if s == optimizer.ShipPartition {
+			nShuffled++
+		}
+	}
+	budget := e.MemoryBudget / (e.DOP * nShuffled)
+
+	spills := make([][]*partitionSpill, len(inputs))
+	defer func() {
+		for _, sps := range spills {
+			closeSpills(sps)
+		}
+	}()
+
+	shipStart := time.Now()
+	for i := range inputs {
+		if p.Ship[i] != optimizer.ShipPartition {
+			continue
+		}
+		var keys []int
+		if i < len(op.Keys) {
+			keys = op.Keys[i]
+		}
+		resident, sps, bytes, err := e.spillShuffle(inputs[i], keys, budget)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = resident
+		spills[i] = sps
+		st.ShippedBytes += bytes
+	}
+	if e.NetBandwidth > 0 && st.ShippedBytes > 0 {
+		want := time.Duration(float64(st.ShippedBytes) / e.NetBandwidth * float64(time.Second))
+		if elapsed := time.Since(shipStart); want > elapsed {
+			time.Sleep(want - elapsed)
+		}
+	}
+	st.ShipTime = time.Since(shipStart)
+	for _, sps := range spills {
+		for _, sp := range sps {
+			if sp != nil {
+				st.SpilledBytes += sp.bytes
+				st.SpillRuns += len(sp.runs)
+			}
+		}
+	}
+
+	localStart := time.Now()
+	var out Partitioned
+	var calls int
+	var err error
+	switch op.Kind {
+	case dataflow.KindReduce:
+		out, calls, err = e.localReduceSpilled(p, inputs[0], spills[0])
+	case dataflow.KindCoGroup:
+		out, calls, err = e.localCoGroupSpilled(op, inputs[0], inputs[1], spills[0], spills[1])
+	default:
+		err = fmt.Errorf("engine: %s is not a spillable grouping operator", op.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.LocalTime = time.Since(localStart)
+	st.UDFCalls = calls
+	st.OutRecords = out.Records()
+	stats.PerOp = append(stats.PerOp, st)
+	return out, nil
+}
+
+// spillShuffle is the budget-tracked variant of shuffle: identical sender
+// topology (shuffleSend routes record.Batch units by key hash), but each
+// collector bounds its resident bytes at budget and sorts-and-spills its
+// buffer as a run on overflow. It returns the resident remainders, the
+// per-partition spill state (callers own the files until closeSpills), and
+// the shipped bytes.
+func (e *Engine) spillShuffle(in Partitioned, keys []int, budget int) (Partitioned, []*partitionSpill, int, error) {
+	dop := e.DOP
+	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
+	for i := range st.chans {
+		st.chans[i] = make(chan *record.Batch)
+	}
+	st.senders.Add(len(in))
+	st.collectors.Add(dop)
+	acc := make([]*record.Batch, len(in)*dop)
+	for si, part := range in {
+		go shuffleSend(st, acc[si*dop:(si+1)*dop], part, keys)
+	}
+	out := make(Partitioned, dop)
+	spills := make([]*partitionSpill, dop)
+	for i := range st.chans {
+		spills[i] = &partitionSpill{}
+		go e.spillCollect(st, out, spills[i], i, keys, budget)
+	}
+	st.senders.Wait()
+	for _, c := range st.chans {
+		close(c)
+	}
+	st.collectors.Wait()
+	for _, sp := range spills {
+		if sp.err != nil {
+			closeSpills(spills)
+			return nil, nil, 0, sp.err
+		}
+	}
+	return out, spills, int(st.bytes.Load()), nil
+}
+
+// spillCollect drains one target partition's channel like shuffleCollect,
+// but tracks the buffer's resident bytes (wire encoding, the unit
+// MemoryBudget is expressed in) and, when they exceed the per-partition
+// budget, sorts the buffer by key and writes it to the partition's spill
+// file as one run. The buffer's backing array is reused across runs, so a
+// partition's steady-state footprint is one budget's worth of records. On a
+// disk error the collector keeps draining (senders must never block) but
+// discards the drained records — the run is doomed and buffering its
+// remainder would grow residency without bound in exactly the
+// memory-constrained setting spilling exists for; the error surfaces from
+// spillShuffle.
+func (e *Engine) spillCollect(st *shuffleState, out Partitioned, sp *partitionSpill, i int, keys []int, budget int) {
+	defer st.collectors.Done()
+	var buf []record.Record
+	resident := 0
+	for b := range st.chans[i] {
+		if sp.err != nil {
+			record.PutBatch(b)
+			continue
+		}
+		buf = append(buf, b.Records()...)
+		resident += b.EncodedSize()
+		record.PutBatch(b)
+		if resident <= budget || len(buf) == 0 {
+			continue
+		}
+		sortByKey(buf, keys)
+		if sp.file == nil {
+			if sp.file, sp.err = spill.Create(e.SpillDir); sp.err != nil {
+				continue
+			}
+		}
+		run, err := sp.file.WriteRun(buf)
+		if err != nil {
+			sp.err = err
+			continue
+		}
+		sp.runs = append(sp.runs, run)
+		sp.bytes += int(run.Length)
+		buf = buf[:0]
+		resident = 0
+	}
+	out[i] = buf
+}
+
+// localReduceSpilled runs the Reduce's local strategy over every partition
+// concurrently: partitions that never overflowed group fully in memory with
+// the plan's strategy; overflowed partitions group by external sort-merge
+// over their runs plus the sorted resident remainder. Both orders are
+// canonical (ascending key), so the choice is invisible in the output.
+func (e *Engine) localReduceSpilled(p *optimizer.PhysPlan, in Partitioned, spills []*partitionSpill) (Partitioned, int, error) {
+	op := p.Op
+	keys := op.Keys[0]
+	return e.perPartitionIdx(in, func(i int, part []record.Record) ([]record.Record, int, error) {
+		var sp *partitionSpill
+		if i < len(spills) {
+			sp = spills[i]
+		}
+		if sp == nil || len(sp.runs) == 0 {
+			return e.reducePartition(op, part, keys, p.Local == optimizer.LocalSortGroup)
+		}
+		return e.reduceMerged(op, part, sp, keys)
+	})
+}
+
+// reduceMerged applies the Reduce UDF group-at-a-time over the k-way merge
+// of a partition's spilled runs and its sorted resident remainder. Cursor
+// order — oldest run first, remainder last — together with the merger's
+// index tie-break reproduces arrival order within each key group, matching
+// what a fully resident stable grouping would have seen.
+func (e *Engine) reduceMerged(op *dataflow.Operator, resident []record.Record, sp *partitionSpill, keys []int) ([]record.Record, int, error) {
+	cursors := make([]spill.Cursor, 0, len(sp.runs)+1)
+	for _, run := range sp.runs {
+		cursors = append(cursors, sp.file.OpenRun(run))
+	}
+	sortByKey(resident, keys)
+	cursors = append(cursors, spill.NewSliceCursor(resident))
+	cmp := func(a, b record.Record) int { return a.CompareOn(b, keys) }
+	m, err := spill.NewMerger(cursors, cmp)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []record.Record
+	calls := 0
+	var group []record.Record
+	flush := func() error {
+		if len(group) == 0 {
+			return nil
+		}
+		res, err := e.interp.InvokeReduce(op.UDF, group)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", op.Name, err)
+		}
+		calls++
+		out = append(out, res...)
+		group = nil
+		return nil
+	}
+	for {
+		rec, ok, err := m.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		if len(group) > 0 && cmp(group[0], rec) != 0 {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+		group = append(group, rec)
+	}
+	if err := flush(); err != nil {
+		return nil, 0, err
+	}
+	return out, calls, nil
+}
+
+// groupCursor yields key groups in ascending key order; next returns nil at
+// end of stream. It is the unit the co-group alignment consumes, letting an
+// in-memory side and a spilled side pair up transparently.
+type groupCursor interface {
+	next() ([]record.Record, error)
+}
+
+// memGroupCursor iterates pre-built groups (groupRecords output).
+type memGroupCursor struct {
+	groups [][]record.Record
+	pos    int
+}
+
+func (c *memGroupCursor) next() ([]record.Record, error) {
+	if c.pos >= len(c.groups) {
+		return nil, nil
+	}
+	g := c.groups[c.pos]
+	c.pos++
+	return g, nil
+}
+
+// mergeGroupCursor accumulates equal-key groups from a sorted record merge.
+type mergeGroupCursor struct {
+	m       *spill.Merger
+	keys    []int
+	peek    record.Record
+	hasPeek bool
+	done    bool
+}
+
+func (c *mergeGroupCursor) next() ([]record.Record, error) {
+	if c.done {
+		return nil, nil
+	}
+	if !c.hasPeek {
+		rec, ok, err := c.m.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			c.done = true
+			return nil, nil
+		}
+		c.peek = rec
+		c.hasPeek = true
+	}
+	group := []record.Record{c.peek}
+	c.hasPeek = false
+	for {
+		rec, ok, err := c.m.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			c.done = true
+			return group, nil
+		}
+		if group[0].CompareOn(rec, c.keys) != 0 {
+			c.peek = rec
+			c.hasPeek = true
+			return group, nil
+		}
+		group = append(group, rec)
+	}
+}
+
+// sideGroups builds one CoGroup side's group stream: fully in memory when
+// the side never overflowed, external sort-merge otherwise.
+func (e *Engine) sideGroups(part []record.Record, sp *partitionSpill, keys []int) (groupCursor, error) {
+	if sp == nil || len(sp.runs) == 0 {
+		return &memGroupCursor{groups: groupRecords(part, keys, true)}, nil
+	}
+	cursors := make([]spill.Cursor, 0, len(sp.runs)+1)
+	for _, run := range sp.runs {
+		cursors = append(cursors, sp.file.OpenRun(run))
+	}
+	sortByKey(part, keys)
+	cursors = append(cursors, spill.NewSliceCursor(part))
+	m, err := spill.NewMerger(cursors, func(a, b record.Record) int { return a.CompareOn(b, keys) })
+	if err != nil {
+		return nil, err
+	}
+	return &mergeGroupCursor{m: m, keys: keys}, nil
+}
+
+// compareKeyPair orders a left-side record against a right-side record by
+// their respective key fields, position by position.
+func compareKeyPair(l record.Record, lKeys []int, r record.Record, rKeys []int) int {
+	for i := range lKeys {
+		if c := l.Field(lKeys[i]).Compare(r.Field(rKeys[i])); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// coGroupAligned merges two sorted group streams and calls the CoGroup UDF
+// once per key in the combined key domain, ascending — the shared core of
+// the in-memory and spilled CoGroup paths.
+func (e *Engine) coGroupAligned(op *dataflow.Operator, l, r groupCursor, lKeys, rKeys []int) ([]record.Record, int, error) {
+	var out []record.Record
+	calls := 0
+	emit := func(lg, rg []record.Record) error {
+		res, err := e.interp.InvokeCoGroup(op.UDF, lg, rg)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", op.Name, err)
+		}
+		calls++
+		out = append(out, res...)
+		return nil
+	}
+	lg, err := l.next()
+	if err != nil {
+		return nil, 0, err
+	}
+	rg, err := r.next()
+	if err != nil {
+		return nil, 0, err
+	}
+	for lg != nil || rg != nil {
+		var c int
+		switch {
+		case rg == nil:
+			c = -1
+		case lg == nil:
+			c = 1
+		default:
+			c = compareKeyPair(lg[0], lKeys, rg[0], rKeys)
+		}
+		switch {
+		case c < 0:
+			if err := emit(lg, nil); err != nil {
+				return nil, 0, err
+			}
+			if lg, err = l.next(); err != nil {
+				return nil, 0, err
+			}
+		case c > 0:
+			if err := emit(nil, rg); err != nil {
+				return nil, 0, err
+			}
+			if rg, err = r.next(); err != nil {
+				return nil, 0, err
+			}
+		default:
+			if err := emit(lg, rg); err != nil {
+				return nil, 0, err
+			}
+			if lg, err = l.next(); err != nil {
+				return nil, 0, err
+			}
+			if rg, err = r.next(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return out, calls, nil
+}
+
+// localCoGroupSpilled co-groups every partition pair concurrently, using
+// external merges for sides that overflowed.
+func (e *Engine) localCoGroupSpilled(op *dataflow.Operator, l, r Partitioned, lSpills, rSpills []*partitionSpill) (Partitioned, int, error) {
+	n := len(l)
+	if len(r) > n {
+		n = len(r)
+	}
+	padded := make(Partitioned, n)
+	return e.perPartitionIdx(padded, func(i int, _ []record.Record) ([]record.Record, int, error) {
+		var lp, rp []record.Record
+		if i < len(l) {
+			lp = l[i]
+		}
+		if i < len(r) {
+			rp = r[i]
+		}
+		var lsp, rsp *partitionSpill
+		if i < len(lSpills) {
+			lsp = lSpills[i]
+		}
+		if i < len(rSpills) {
+			rsp = rSpills[i]
+		}
+		lc, err := e.sideGroups(lp, lsp, op.Keys[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		rc, err := e.sideGroups(rp, rsp, op.Keys[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return e.coGroupAligned(op, lc, rc, op.Keys[0], op.Keys[1])
+	})
+}
+
+// perPartitionIdx applies fn to every partition concurrently, passing the
+// partition index (the variant of perPartition the spill path needs to pair
+// partitions with their spill state).
+func (e *Engine) perPartitionIdx(in Partitioned, fn func(int, []record.Record) ([]record.Record, int, error)) (Partitioned, int, error) {
+	out := make(Partitioned, len(in))
+	calls := make([]int, len(in))
+	errs := make([]error, len(in))
+	var wg sync.WaitGroup
+	for i := range in {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], calls[i], errs[i] = fn(i, in[i])
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := range in {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		total += calls[i]
+	}
+	return out, total, nil
+}

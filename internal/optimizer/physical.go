@@ -175,6 +175,13 @@ type PhysicalOptimizer struct {
 	// default; disabling it restores the naive per-alternative
 	// optimization for the ablation benchmark).
 	ShareSubplans bool
+	// MemoryBudget mirrors the engine's Engine.MemoryBudget (bytes; zero =
+	// unlimited): when set, shuffled grouping operators whose receiver
+	// volume exceeds it are charged the disk traffic of sorting, spilling,
+	// and externally merging the overflow (see spillCost). The term is what
+	// makes plan enumeration prefer combinable or forward-shipping
+	// alternatives exactly when the budget is tight.
+	MemoryBudget float64
 
 	memo map[string][]*PhysPlan
 }
@@ -195,6 +202,31 @@ const (
 	cpuProbeFactor = 0.02
 	cpuPipeFactor  = 0.01
 )
+
+// mergeFanIn is the modeled merge fan-in of the external grouping path: the
+// number of sorted runs one merge pass combines. The engine's k-way merge
+// is actually single-pass (unbounded fan-in), so for realistic run counts
+// the model charges exactly one pass; the notional multi-pass penalty only
+// kicks in at extreme run counts, where a real system would have to cascade
+// merges.
+const mergeFanIn = 128
+
+// spillCost estimates the disk traffic of grouping vol receiver bytes under
+// a memory budget: zero when the volume fits, otherwise the overflow is
+// written once and read back once per merge pass, with the pass count
+// derived from the estimated run count (runs ≈ vol/budget) and mergeFanIn.
+func spillCost(vol, budget float64) float64 {
+	if budget <= 0 || vol <= budget {
+		return 0
+	}
+	spilled := vol - budget
+	runs := math.Ceil(vol / budget)
+	passes := 1.0
+	for r := runs; r > mergeFanIn; r = math.Ceil(r / mergeFanIn) {
+		passes++
+	}
+	return 2 * spilled * passes
+}
 
 // Optimize returns the cheapest physical plan for the operator tree.
 func (po *PhysicalOptimizer) Optimize(t *Tree) *PhysPlan {
@@ -280,6 +312,15 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 				combinable = true
 				net = po.combinedShuffleBytes(op, in)
 			}
+			// Under a memory budget, whatever volume lands on the shuffle
+			// receivers beyond the budget is sorted, spilled, and merged
+			// back — a combinable plan's receivers see the combined (much
+			// smaller) volume, which is how tight budgets steer enumeration
+			// toward combinable and forward-shipping alternatives.
+			var spillDisk float64
+			if ship == ShipPartition {
+				spillDisk = spillCost(net, po.MemoryBudget)
+			}
 			for _, local := range []Local{LocalSortGroup, LocalHashGroup} {
 				n := in.OutRecords
 				var localCPU float64
@@ -298,7 +339,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 					Ship: []Shipping{ship}, Local: local, Combinable: combinable,
 					Partitioned: key.Clone(),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: in.Cost.Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + localCPU}),
+					Cost: in.Cost.Plus(Cost{Net: net, Disk: spillDisk, CPU: po.Est.CPUCost(t) + localCPU}),
 				})
 			}
 		}
@@ -335,15 +376,24 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 			for _, r := range po.plans(t.Kids[1], memo) {
 				var net float64
 				ship := []Shipping{ShipPartition, ShipPartition}
+				shuffledVols := make([]float64, 0, 2)
 				if l.Partitioned.Len() > 0 && l.Partitioned.Equal(lKey) {
 					ship[0] = ShipForward
 				} else {
 					net += l.OutBytes
+					shuffledVols = append(shuffledVols, l.OutBytes)
 				}
 				if r.Partitioned.Len() > 0 && r.Partitioned.Equal(rKey) {
 					ship[1] = ShipForward
 				} else {
 					net += r.OutBytes
+					shuffledVols = append(shuffledVols, r.OutBytes)
+				}
+				// The memory budget is split across the shuffled sides,
+				// mirroring the engine's per-input share.
+				var spillDisk float64
+				for _, vol := range shuffledVols {
+					spillDisk += spillCost(vol, po.MemoryBudget/float64(len(shuffledVols)))
 				}
 				sortCPU := cpuSortFactor * (l.OutRecords*math.Log2(math.Max(l.OutRecords, 2)) +
 					r.OutRecords*math.Log2(math.Max(r.OutRecords, 2)))
@@ -352,7 +402,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 					Ship: ship, Local: LocalSortCoGrp,
 					Partitioned: lKey.Clone(),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + sortCPU}),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, Disk: spillDisk, CPU: po.Est.CPUCost(t) + sortCPU}),
 				})
 			}
 		}
@@ -505,9 +555,17 @@ type RankedPlan struct {
 // each, and returns them sorted by ascending estimated cost — the procedure
 // behind the paper's Figures 5–7.
 func RankAll(t *Tree, est *Estimator, dop int) []RankedPlan {
+	return RankAllBudget(t, est, dop, 0)
+}
+
+// RankAllBudget is RankAll with a memory budget (bytes; zero = unlimited)
+// threaded into the physical optimizer, so the ranking includes the
+// spill-aware disk term for shuffled grouping operators.
+func RankAllBudget(t *Tree, est *Estimator, dop int, memoryBudget float64) []RankedPlan {
 	enum := NewEnumerator()
 	alts := enum.Enumerate(t)
 	po := NewPhysicalOptimizer(est, dop)
+	po.MemoryBudget = memoryBudget
 	ranked := make([]RankedPlan, 0, len(alts))
 	for _, a := range alts {
 		phys := po.Optimize(a)

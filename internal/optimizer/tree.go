@@ -4,6 +4,15 @@
 // to binary operators), a cost model driven by the hints the paper's
 // prototype uses (Section 7.1), and a physical optimizer that chooses
 // shipping and local execution strategies with interesting-property reuse.
+//
+// The cost model prices the engine's optimized execution paths so that
+// enumeration can trade them off: combinable Reduces are charged the
+// combined (key-bounded) shuffle volume, and — when a memory budget is set
+// (PhysicalOptimizer.MemoryBudget, RankAllBudget) — shuffled groupings
+// whose receiver volume overflows the budget are charged the disk traffic
+// of sorting, spilling, and externally merging the overflow (spillCost),
+// which steers plan choice toward combinable and forward-shipping
+// alternatives exactly when memory is tight.
 package optimizer
 
 import (

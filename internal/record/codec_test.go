@@ -1,0 +1,122 @@
+package record
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomRecord(rng *rand.Rand) Record {
+	r := make(Record, rng.Intn(6))
+	for i := range r {
+		switch rng.Intn(5) {
+		case 0:
+			// leave Null
+		case 1:
+			r[i] = Int(rng.Int63() - rng.Int63())
+		case 2:
+			r[i] = Float(rng.NormFloat64() * 1e6)
+		case 3:
+			b := make([]byte, rng.Intn(20))
+			rng.Read(b)
+			r[i] = String(string(b))
+		default:
+			r[i] = Bool(rng.Intn(2) == 0)
+		}
+	}
+	return r
+}
+
+// TestCodecRoundTrip: decode(encode(r)) == r, and the encoding occupies
+// exactly EncodedSize bytes — the codec and the byte accounting must never
+// drift apart.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []byte
+	var recs []Record
+	for i := 0; i < 500; i++ {
+		r := randomRecord(rng)
+		recs = append(recs, r)
+		before := len(buf)
+		buf = r.AppendEncoded(buf)
+		if got, want := len(buf)-before, r.EncodedSize(); got != want {
+			t.Fatalf("record %v encoded to %d bytes, EncodedSize says %d", r, got, want)
+		}
+	}
+	pos := 0
+	for i, want := range recs {
+		got, n, err := DecodeRecord(buf[pos:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if n != want.EncodedSize() {
+			t.Fatalf("record %d consumed %d bytes, want %d", i, n, want.EncodedSize())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("record %d: decoded arity %d, want %d", i, len(got), len(want))
+		}
+		for f := range want {
+			if got[f].Kind() != want[f].Kind() || !got[f].Equal(want[f]) {
+				t.Fatalf("record %d field %d: decoded %v (%v), want %v (%v)",
+					i, f, got[f], got[f].Kind(), want[f], want[f].Kind())
+			}
+		}
+		pos += n
+	}
+	if pos != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", pos, len(buf))
+	}
+}
+
+// TestCodecSpecials pins non-finite floats and kind preservation (an int
+// and the Equal float must decode back as distinct kinds).
+func TestCodecSpecials(t *testing.T) {
+	r := Record{
+		Int(2), Float(2.0), Float(math.Inf(-1)), Float(math.NaN()),
+		String(""), Bool(false), Null,
+	}
+	buf := r.AppendEncoded(nil)
+	got, n, err := DecodeRecord(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got[0].Kind() != KindInt || got[1].Kind() != KindFloat {
+		t.Errorf("numeric kinds not preserved: %v, %v", got[0].Kind(), got[1].Kind())
+	}
+	if !math.IsInf(got[2].AsFloat(), -1) {
+		t.Errorf("-Inf decoded as %v", got[2])
+	}
+	if !math.IsNaN(got[3].AsFloat()) {
+		t.Errorf("NaN decoded as %v", got[3])
+	}
+	if got[4].Kind() != KindString || got[4].AsString() != "" {
+		t.Errorf("empty string decoded as %v", got[4])
+	}
+	if !got[6].IsNull() {
+		t.Errorf("null decoded as %v", got[6])
+	}
+}
+
+// TestCodecTruncation: every prefix of a valid encoding fails cleanly.
+func TestCodecTruncation(t *testing.T) {
+	r := Record{Int(7), String("hello"), Bool(true)}
+	buf := r.AppendEncoded(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRecord(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d bytes decoded without error", cut, len(buf))
+		}
+	}
+}
+
+// TestCompareOn: CompareOn must agree with comparing projections.
+func TestCompareOn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fields := []int{0, 2, 4}
+	for i := 0; i < 200; i++ {
+		a, b := randomRecord(rng), randomRecord(rng)
+		want := a.Project(fields).Compare(b.Project(fields))
+		if got := a.CompareOn(b, fields); got != want {
+			t.Fatalf("CompareOn(%v, %v, %v) = %d, projections compare %d", a, b, fields, got, want)
+		}
+	}
+}

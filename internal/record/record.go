@@ -9,6 +9,12 @@
 // does not carry are Null. This makes operator reordering trivially
 // index-stable: a UDF compiled against global indices reads the same
 // attribute no matter where in the plan it executes.
+//
+// Besides the value/record model the package provides the engine's two
+// movement units: Batch, the fixed-capacity pooled container shuffles move
+// records in, and the wire codec (AppendEncoded / DecodeRecord, the byte
+// layout EncodedSize prices) that both the shuffle's byte accounting and
+// the spill package's on-disk run format are denominated in.
 package record
 
 import (
@@ -367,6 +373,17 @@ func (r Record) EqualOn(o Record, fields []int) bool {
 		}
 	}
 	return true
+}
+
+// CompareOn orders r and o by the given fields — the allocation-free
+// equivalent of comparing the two Project(fields) records.
+func (r Record) CompareOn(o Record, fields []int) int {
+	for _, f := range fields {
+		if c := r.Field(f).Compare(o.Field(f)); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 // Compare orders records lexicographically; shorter records order first on

@@ -1,0 +1,108 @@
+package spill
+
+import (
+	"container/heap"
+
+	"blackboxflow/internal/record"
+)
+
+// Cursor is a stream of records in sorted order — a spill RunReader or an
+// in-memory sorted slice. Next's second result is false at end of stream.
+type Cursor interface {
+	Next() (record.Record, bool, error)
+}
+
+// sliceCursor iterates an in-memory sorted slice.
+type sliceCursor struct {
+	recs []record.Record
+	pos  int
+}
+
+// NewSliceCursor wraps an already-sorted in-memory slice as a Cursor, so a
+// partition's resident remainder can merge with its on-disk runs.
+func NewSliceCursor(recs []record.Record) Cursor {
+	return &sliceCursor{recs: recs}
+}
+
+func (c *sliceCursor) Next() (record.Record, bool, error) {
+	if c.pos >= len(c.recs) {
+		return nil, false, nil
+	}
+	r := c.recs[c.pos]
+	c.pos++
+	return r, true, nil
+}
+
+// Merger is a k-way merge over sorted cursors. Ties are broken by cursor
+// index, so when cursors are passed in spill order (oldest run first,
+// resident remainder last) the merged stream preserves arrival order within
+// equal keys — the same stability a single stable sort would give.
+type Merger struct {
+	cmp  func(a, b record.Record) int
+	h    mergeHeap
+	errs error
+}
+
+type mergeItem struct {
+	rec record.Record
+	src Cursor
+	idx int // cursor index, the tie-breaker
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	cmp   func(a, b record.Record) int
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	if c := h.cmp(h.items[i].rec, h.items[j].rec); c != 0 {
+		return c < 0
+	}
+	return h.items[i].idx < h.items[j].idx
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() (popped any) {
+	n := len(h.items)
+	popped = h.items[n-1]
+	h.items = h.items[:n-1]
+	return
+}
+
+// NewMerger primes a k-way merge over the cursors with the given record
+// comparison (typically record.Record.CompareOn over the grouping key).
+func NewMerger(cursors []Cursor, cmp func(a, b record.Record) int) (*Merger, error) {
+	m := &Merger{cmp: cmp, h: mergeHeap{cmp: cmp}}
+	for i, c := range cursors {
+		rec, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.h.items = append(m.h.items, mergeItem{rec: rec, src: c, idx: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// Next returns the smallest remaining record across all cursors. The second
+// result is false when every cursor is exhausted.
+func (m *Merger) Next() (record.Record, bool, error) {
+	if len(m.h.items) == 0 {
+		return nil, false, nil
+	}
+	top := m.h.items[0]
+	rec, ok, err := top.src.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		m.h.items[0] = mergeItem{rec: rec, src: top.src, idx: top.idx}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.rec, true, nil
+}

@@ -1,0 +1,144 @@
+// Package spill implements the engine's out-of-core building blocks: sorted
+// runs of records written to temporary files in a length-prefixed batch
+// format, streaming run readers, and a k-way merge over sorted record
+// cursors.
+//
+// The on-disk format reuses the record wire encoding (record.AppendEncoded /
+// record.DecodeRecord — the same layout EncodedSize prices for shuffle byte
+// accounting), framed into batches: every frame is an 8-byte header (4-byte
+// little-endian record count, 4-byte payload length) followed by the
+// concatenated record encodings. Frames hold at most record.DefaultBatchCap
+// records, so a reader's resident footprint is one batch regardless of run
+// size.
+//
+// A File holds consecutive runs of one spill producer (the engine gives each
+// partition collector its own File, so writers never contend). Runs are read
+// back through ReadAt, which is safe for the concurrent readers a k-way
+// merge creates. Files are unlinked on Close; Close is idempotent.
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"blackboxflow/internal/record"
+)
+
+// frameHeaderSize is the per-frame overhead: record count + payload length.
+const frameHeaderSize = 8
+
+// Run locates one sorted run inside a File.
+type Run struct {
+	Offset  int64 // byte offset of the run's first frame
+	Length  int64 // total bytes including frame headers
+	Records int   // records in the run
+}
+
+// File is one producer's spill file holding consecutive runs.
+type File struct {
+	f    *os.File
+	path string
+	off  int64
+	buf  []byte // reused frame-encoding buffer
+}
+
+// Create opens a fresh spill file in dir (the OS temp directory when dir is
+// empty).
+func Create(dir string) (*File, error) {
+	f, err := os.CreateTemp(dir, "blackboxflow-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &File{f: f, path: f.Name()}, nil
+}
+
+// Close closes and removes the file. Idempotent; readers opened from the
+// file must not be used afterwards.
+func (s *File) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// WriteRun appends one run to the file. The caller must pass records
+// already sorted in the run's intended order; WriteRun only frames and
+// writes them. The returned Run locates the data for OpenRun.
+func (s *File) WriteRun(recs []record.Record) (Run, error) {
+	run := Run{Offset: s.off, Records: len(recs)}
+	for start := 0; start < len(recs); start += record.DefaultBatchCap {
+		end := start + record.DefaultBatchCap
+		if end > len(recs) {
+			end = len(recs)
+		}
+		s.buf = s.buf[:0]
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(end-start))
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, 0) // payload length, patched below
+		for _, r := range recs[start:end] {
+			s.buf = r.AppendEncoded(s.buf)
+		}
+		binary.LittleEndian.PutUint32(s.buf[4:], uint32(len(s.buf)-frameHeaderSize))
+		if _, err := s.f.Write(s.buf); err != nil {
+			return Run{}, fmt.Errorf("spill: write run: %w", err)
+		}
+		s.off += int64(len(s.buf))
+	}
+	run.Length = s.off - run.Offset
+	return run, nil
+}
+
+// OpenRun returns a streaming reader over one run. Multiple runs of the
+// same File may be read concurrently.
+func (s *File) OpenRun(r Run) *RunReader {
+	return &RunReader{file: s, off: r.Offset, end: r.Offset + r.Length}
+}
+
+// RunReader iterates a run's records in order, keeping at most one frame
+// resident.
+type RunReader struct {
+	file    *File
+	off     int64  // next unread file offset
+	end     int64  // first offset past the run
+	frame   []byte // current frame payload (reused across frames)
+	pos     int    // read position inside frame
+	pending int    // records left in the current frame
+}
+
+// Next returns the run's next record. The second result is false when the
+// run is exhausted.
+func (rr *RunReader) Next() (record.Record, bool, error) {
+	for rr.pending == 0 {
+		if rr.off >= rr.end {
+			return nil, false, nil
+		}
+		var hdr [frameHeaderSize]byte
+		if _, err := rr.file.f.ReadAt(hdr[:], rr.off); err != nil {
+			return nil, false, fmt.Errorf("spill: read frame header: %w", err)
+		}
+		count := int(binary.LittleEndian.Uint32(hdr[:4]))
+		payload := int(binary.LittleEndian.Uint32(hdr[4:]))
+		if cap(rr.frame) < payload {
+			rr.frame = make([]byte, payload)
+		}
+		rr.frame = rr.frame[:payload]
+		if _, err := rr.file.f.ReadAt(rr.frame, rr.off+frameHeaderSize); err != nil {
+			return nil, false, fmt.Errorf("spill: read frame payload: %w", err)
+		}
+		rr.off += frameHeaderSize + int64(payload)
+		rr.pos = 0
+		rr.pending = count
+	}
+	rec, n, err := record.DecodeRecord(rr.frame[rr.pos:])
+	if err != nil {
+		return nil, false, fmt.Errorf("spill: %w", err)
+	}
+	rr.pos += n
+	rr.pending--
+	return rec, true, nil
+}
