@@ -184,11 +184,12 @@ func Optimize(f *Flow, dop int) (*PhysPlan, error) {
 }
 
 // OptimizeBudget is Optimize with a memory budget (bytes; zero =
-// unlimited): the cost model charges shuffled grouping operators whose
-// receiver volume exceeds the budget for sorting, spilling, and externally
-// merging the overflow, so enumeration prefers combinable and
-// forward-shipping plans exactly when memory is tight. Pair it with an
-// engine whose MemoryBudget is set to the same value.
+// unlimited): the cost model charges shuffled grouping and join operators
+// whose receiver volume exceeds the budget for sorting, spilling, and
+// externally merging the overflow — and broadcast join build sides for
+// their replicated residency — so enumeration prefers combinable,
+// forward-shipping, or broadcast plans exactly when memory is tight. Pair
+// it with an engine whose MemoryBudget is set to the same value.
 func OptimizeBudget(f *Flow, dop int, memoryBudget int) (*PhysPlan, error) {
 	tree, err := optimizer.FromFlow(f)
 	if err != nil {
@@ -203,8 +204,8 @@ type (
 	// Engine executes physical plans on a multi-goroutine shared-nothing
 	// runtime with a batched shuffle, fused Map chains, pre-shuffle partial
 	// aggregation for combinable Reduces, and — when Engine.MemoryBudget is
-	// set — spill-to-disk external grouping for working sets larger than
-	// memory (see DESIGN.md).
+	// set — spill-to-disk external grouping and joining for working sets
+	// larger than memory (see DESIGN.md).
 	Engine = engine.Engine
 	// RunStats reports per-operator records, shipped bytes, UDF calls,
 	// combiner calls, and spill activity (SpilledBytes, SpillRuns).
@@ -215,8 +216,8 @@ type (
 
 // NewEngine returns an execution engine with the given degree of
 // parallelism. Chain WithMemoryBudget to bound the resident bytes of
-// grouping shuffle receivers (spilling the overflow to sorted disk runs)
-// and WithNetBandwidth to simulate a cluster interconnect.
+// grouping and join shuffle receivers (spilling the overflow to sorted
+// disk runs) and WithNetBandwidth to simulate a cluster interconnect.
 func NewEngine(dop int) *Engine { return engine.New(dop) }
 
 // SamplingOptions configure DeriveHintsBySampling.

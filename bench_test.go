@@ -652,6 +652,112 @@ func reduce wcount($g) {
 	}
 }
 
+// BenchmarkJoinSpill measures the out-of-core join path on a
+// constrained-budget repartition join at DOP 8: 150k × 50k records over 25k
+// join keys (~5 MB combined working set on the shuffle receivers).
+// "in-memory" runs with no MemoryBudget; "spill" runs the identical plan
+// under a 256 KiB budget, forcing both shuffled sides to spill sorted runs
+// and the Match to execute as an external merge join over the merged runs
+// plus each side's resident remainder (engine/join_spill.go). The overhead
+// ratio and spilled volume are recorded in BENCH_joinspill.json; output
+// equivalence is pinned by TestSpillJoinEquivalence.
+func BenchmarkJoinSpill(b *testing.B) {
+	const (
+		nL   = 150000
+		nR   = 50000
+		keys = 25000
+	)
+	prog := tac.MustParse(`
+func binary jn($l, $r) {
+	$o := concat $l $r
+	emit $o
+}
+`)
+	udf, _ := prog.Lookup("jn")
+	f := dataflow.NewFlow()
+	l := f.Source("L", []string{"lk", "lv"}, dataflow.Hints{Records: nL, AvgWidthBytes: 24})
+	r := f.Source("R", []string{"rk", "rv"}, dataflow.Hints{Records: nR, AvgWidthBytes: 24})
+	jn := f.Match("J", udf, []string{"lk"}, []string{"rk"}, l, r,
+		dataflow.Hints{KeyCardinality: keys})
+	f.SetSink("out", jn)
+	if err := f.DeriveEffects(false); err != nil {
+		b.Fatal(err)
+	}
+	tree, err := optimizer.FromFlow(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(f), 8).Optimize(tree)
+	var match *optimizer.PhysPlan
+	var find func(p *optimizer.PhysPlan)
+	find = func(p *optimizer.PhysPlan) {
+		if p.Op.Kind == dataflow.KindMatch {
+			match = p
+		}
+		for _, in := range p.Inputs {
+			find(in)
+		}
+	}
+	find(plan)
+	if match == nil {
+		b.Fatal("no Match in plan")
+	}
+	// Pin the repartition merge join: broadcasting would keep one side fully
+	// resident and never touch the spill path this benchmark measures.
+	match.Ship = []optimizer.Shipping{optimizer.ShipPartition, optimizer.ShipPartition}
+	match.Local = optimizer.LocalMergeJoin
+
+	rng := rand.New(rand.NewSource(42))
+	lData := make(record.DataSet, nL)
+	for i := range lData {
+		k := int64(rng.Intn(keys))
+		lData[i] = record.Record{record.String(fmt.Sprintf("key%06d", k)), record.Int(k)}
+	}
+	rData := make(record.DataSet, nR)
+	for i := range rData {
+		k := int64(rng.Intn(keys))
+		rData[i] = record.Record{record.Null, record.Null, record.String(fmt.Sprintf("key%06d", k)), record.Int(k)}
+	}
+
+	for _, mode := range []struct {
+		name   string
+		budget int
+	}{
+		{"in-memory", 0},
+		{"spill", 256 << 10},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := engine.New(8)
+			e.MemoryBudget = mode.budget
+			e.SpillDir = b.TempDir()
+			e.AddSource("L", lData)
+			e.AddSource("R", rData)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var shipped, spilled, runs, out int
+			for i := 0; i < b.N; i++ {
+				res, stats, err := e.Run(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out = len(res)
+				shipped = stats.TotalShippedBytes()
+				spilled = stats.TotalSpilledBytes()
+				runs = stats.TotalSpillRuns()
+			}
+			if out == 0 {
+				b.Fatal("join emitted nothing")
+			}
+			if mode.budget > 0 && runs == 0 {
+				b.Fatal("budgeted benchmark never spilled")
+			}
+			b.ReportMetric(float64(shipped), "shipped-B/op")
+			b.ReportMetric(float64(spilled), "spilled-B/op")
+			b.ReportMetric(float64(runs), "spill-runs/op")
+		})
+	}
+}
+
 // BenchmarkEngineShuffle measures a 4-way hash repartition plus sort-based
 // grouping of 10k records (the dominant physical operator cost in the
 // relational workloads).

@@ -11,11 +11,12 @@
 // calls — so experiments can relate estimated costs to observed work.
 //
 // The engine is memory-budgeted: when Engine.MemoryBudget is set, shuffle
-// receivers feeding a grouping operator (Reduce, CoGroup) track resident
-// bytes per partition and, on overflow, sort the buffered records by the
-// grouping key and spill them to disk as a sorted run (internal/spill);
-// the local strategy then switches to external sort-merge grouping over
-// the merged runs, so grouping working sets larger than memory complete
+// receivers feeding a grouping or join operator (Reduce, CoGroup, Match)
+// track resident bytes per partition and, on overflow, sort the buffered
+// records by the operator's key and spill them to disk as a sorted run
+// (internal/spill); the local strategy then switches to external
+// sort-merge execution over the merged runs — grouping for Reduce/CoGroup,
+// a merge join for Match — so working sets larger than memory complete
 // with bounded resident bytes and byte-identical output. Combiners keep
 // running on the senders pre-spill, so spilled runs are already partially
 // aggregated. See DESIGN.md ("Memory model & spilling").
@@ -164,13 +165,16 @@ type Engine struct {
 	LegacyShuffle bool
 
 	// MemoryBudget caps the resident bytes (record wire encoding, the same
-	// unit as ShippedBytes) that shuffle receivers feeding a grouping
-	// operator may buffer, summed across the operator's partitions; each of
-	// the DOP partitions gets an equal share. On overflow a partition sorts
-	// its buffer by the grouping key and spills it to disk as a sorted run,
-	// and the operator's local strategy switches to external sort-merge
-	// grouping over the merged runs. Zero (the default) disables spilling:
-	// everything stays in memory.
+	// unit as ShippedBytes) that shuffle receivers feeding a grouping or
+	// join operator (Reduce, CoGroup, Match) may buffer, summed across the
+	// operator's partitions; each of the DOP partitions gets an equal share
+	// (split again across both inputs when two sides shuffle), floored at
+	// one batch's worth so a tiny budget cannot degenerate into one run per
+	// arriving batch. On overflow a partition sorts its buffer by the
+	// operator's key and spills it to disk as a sorted run, and the local
+	// strategy switches to external sort-merge execution over the merged
+	// runs. Zero (the default) disables spilling: everything stays in
+	// memory.
 	MemoryBudget int
 
 	// SpillDir is where spill files are created; empty means the OS temp
@@ -242,9 +246,10 @@ func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, erro
 		return e.execCombinedReduce(p, stats)
 	}
 
-	// A memory-budgeted shuffled grouping (Reduce, CoGroup) runs through
-	// the spill-capable receivers: resident bytes are tracked per partition
-	// and overflow is sorted and spilled to disk (see spill_exec.go).
+	// A memory-budgeted shuffled grouping or join (Reduce, CoGroup, Match)
+	// runs through the spill-capable receivers: resident bytes are tracked
+	// per partition and overflow is sorted and spilled to disk (see
+	// spill_exec.go, join_spill.go).
 	if e.spillEligible(p) {
 		return e.execSpillGrouped(p, stats)
 	}
@@ -311,12 +316,16 @@ func (e *Engine) ship(in Partitioned, s optimizer.Shipping, keys []int) (Partiti
 	case optimizer.ShipPartition:
 		return e.Shuffle(in, keys)
 	case optimizer.ShipBroadcast:
+		// Every partition gets its own copy of the record headers (the
+		// records themselves are immutable by engine convention). Handing the
+		// same slice to all DOP partitions would let any local strategy that
+		// sorts its input in place race against its sibling goroutines.
 		bytes := 0
 		full := in.Flatten()
 		size := full.TotalSize()
 		out := make(Partitioned, e.DOP)
 		for i := range out {
-			out[i] = full
+			out[i] = append([]record.Record(nil), full...)
 			bytes += size
 		}
 		return out, bytes
@@ -679,82 +688,40 @@ func (e *Engine) perPartition2(l, r Partitioned, fn func(l, r []record.Record) (
 }
 
 // joinPartition executes a Match on one partition pair with the plan's
-// local strategy.
+// local strategy. Both strategies emit the engine's canonical join order —
+// equal-key cross products in ascending key order, left records major and
+// in arrival order, right records minor and in arrival order — mirroring
+// how groupRecords canonicalizes sort- and hash-based grouping: the merge
+// join reaches it by stably sorting both sides in place, the hash join by
+// hash-grouping both sides and ordering the group heads. Key equality is
+// record.Value.Compare-based for both, the same semantics grouping and the
+// merge join always had (the seed's hash join probed with exact equality,
+// the one place the engine diverged). A plan therefore produces
+// byte-identical output whichever local strategy runs it, and — because
+// the external merge join of the spill path (join_spill.go) yields the
+// same order by construction — whether or not any partition overflowed the
+// memory budget.
+//
+// The in-place sort relies on the engine's partition-ownership rule: every
+// plan-node execution materializes fresh output partitions for its single
+// consumer (exec re-executes shared subplans, scatter copies source
+// headers, and broadcast hands every partition its own slice), so no
+// defensive copy is needed. If subplan results are ever cached and shared
+// across consumers, forwarded inputs must be copied here again.
 func (e *Engine) joinPartition(p *optimizer.PhysPlan, l, r []record.Record) ([]record.Record, int, error) {
 	op := p.Op
 	lKeys, rKeys := op.Keys[0], op.Keys[1]
-	var out []record.Record
-	calls := 0
-	emit := func(lr, rr record.Record) error {
-		res, err := e.interp.InvokeBinary(op.UDF, lr, rr)
-		if err != nil {
-			return fmt.Errorf("engine: %s: %w", op.Name, err)
-		}
-		calls++
-		out = append(out, res...)
-		return nil
+	var lc, rc groupCursor
+	if p.Local == optimizer.LocalMergeJoin {
+		sortByKey(l, lKeys)
+		sortByKey(r, rKeys)
+		lc = &sortedGroupCursor{recs: l, keys: lKeys}
+		rc = &sortedGroupCursor{recs: r, keys: rKeys}
+	} else { // LocalHashJoin (BuildSide only steers the cost model now)
+		lc = &memGroupCursor{groups: groupRecords(l, lKeys, false)}
+		rc = &memGroupCursor{groups: groupRecords(r, rKeys, false)}
 	}
-
-	switch p.Local {
-	case optimizer.LocalMergeJoin:
-		ls := append([]record.Record(nil), l...)
-		rs := append([]record.Record(nil), r...)
-		record.DataSet(ls).SortBy(lKeys)
-		record.DataSet(rs).SortBy(rKeys)
-		i, j := 0, 0
-		for i < len(ls) && j < len(rs) {
-			c := ls[i].Project(lKeys).Compare(rs[j].Project(rKeys))
-			switch {
-			case c < 0:
-				i++
-			case c > 0:
-				j++
-			default:
-				// Emit the cross product of the equal-key runs.
-				iEnd := i
-				for iEnd < len(ls) && ls[iEnd].Project(lKeys).Compare(ls[i].Project(lKeys)) == 0 {
-					iEnd++
-				}
-				jEnd := j
-				for jEnd < len(rs) && rs[jEnd].Project(rKeys).Compare(rs[j].Project(rKeys)) == 0 {
-					jEnd++
-				}
-				for a := i; a < iEnd; a++ {
-					for b := j; b < jEnd; b++ {
-						if err := emit(ls[a], rs[b]); err != nil {
-							return nil, 0, err
-						}
-					}
-				}
-				i, j = iEnd, jEnd
-			}
-		}
-	default: // LocalHashJoin
-		buildSide, probeSide := p.BuildSide, 1-p.BuildSide
-		parts := [2][]record.Record{l, r}
-		keys := [2][]int{lKeys, rKeys}
-		table := map[uint64][]record.Record{}
-		for _, br := range parts[buildSide] {
-			h := br.Hash(keys[buildSide])
-			table[h] = append(table[h], br)
-		}
-		for _, pr := range parts[probeSide] {
-			h := pr.Hash(keys[probeSide])
-			for _, br := range table[h] {
-				if !br.Project(keys[buildSide]).Equal(pr.Project(keys[probeSide])) {
-					continue
-				}
-				lr, rr := br, pr
-				if buildSide == 1 {
-					lr, rr = pr, br
-				}
-				if err := emit(lr, rr); err != nil {
-					return nil, 0, err
-				}
-			}
-		}
-	}
-	return out, calls, nil
+	return e.matchAligned(op, lc, rc, lKeys, rKeys)
 }
 
 // coGroupPartition executes a CoGroup on one partition pair: both sides are

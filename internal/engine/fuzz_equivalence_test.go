@@ -279,6 +279,167 @@ func reduce agg($g) {
 	}
 }
 
+// TestRandomJoinPipelinesTinyBudgetEquivalent extends the tiny-budget
+// equivalence sweep from Reduce pipelines to joins: random flows joining
+// two sources via Match or Cross, followed by random Maps and (for Match)
+// sometimes a Reduce, executed for every enumerated alternative under an
+// artificially tiny MemoryBudget and compared byte-for-byte against the
+// same plan's unlimited-budget run.
+//
+// Byte-level (not just bag) comparison across two executions is only
+// meaningful when the output order is scheduler-independent, so the
+// generated sources use per-side-unique join keys with every non-key field
+// a function of the key: within-key arrival order — the one thing the
+// shuffle's sender interleaving can change between runs — then permutes
+// identical records only, on the spilled and unspilled paths alike.
+func TestRandomJoinPipelinesTinyBudgetEquivalent(t *testing.T) {
+	const (
+		trials    = 18
+		width     = 4
+		nMaps     = 2
+		keyDomain = 40
+	)
+	spillDir := t.TempDir()
+	sawJoinSpill := false
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(12000 + trial)))
+		useCross := trial%3 == 2
+
+		src := `
+func binary jn($l, $r) {
+	$o := concat $l $r
+	emit $o
+}`
+		names := make([]string, nMaps)
+		for i := range names {
+			names[i] = fmt.Sprintf("m%d", i)
+			src += genUDF(rng, names[i], width)
+		}
+		keyField := rng.Intn(width)
+		aggField := rng.Intn(width)
+		withReduce := !useCross && trial%2 == 0
+		if withReduce {
+			src += fmt.Sprintf(`
+func reduce agg($g) {
+	$first := groupget $g 0
+	$or := newrec
+	$k := getfield $first %d
+	setfield $or %d $k
+	$s := agg sum $g %d
+	setfield $or %d $s
+	emit $or
+}`, keyField, keyField, aggField, width)
+		}
+		prog, err := tac.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+
+		f := dataflow.NewFlow()
+		nL := 12 + rng.Intn(keyDomain-12)
+		nR := 12 + rng.Intn(keyDomain-12)
+		if useCross {
+			nL, nR = 6+rng.Intn(6), 6+rng.Intn(6)
+		}
+		l := f.Source("L", []string{"a0", "a1"}, dataflow.Hints{Records: float64(nL), AvgWidthBytes: 18})
+		r := f.Source("R", []string{"a2", "a3"}, dataflow.Hints{Records: float64(nR), AvgWidthBytes: 18})
+		jnFn, _ := prog.Lookup("jn")
+		var node *dataflow.Operator
+		if useCross {
+			node = f.Cross("J", jnFn, l, r, dataflow.Hints{})
+		} else {
+			node = f.Match("J", jnFn, []string{"a0"}, []string{"a2"}, l, r,
+				dataflow.Hints{KeyCardinality: keyDomain})
+		}
+		f.DeclareAttr("a4")
+		for _, n := range names {
+			fn, _ := prog.Lookup(n)
+			node = f.Map(n, fn, node, dataflow.Hints{})
+		}
+		if withReduce {
+			aggFn, _ := prog.Lookup("agg")
+			node = f.Reduce("agg", aggFn, []string{fmt.Sprintf("a%d", keyField)}, node,
+				dataflow.Hints{KeyCardinality: 13})
+		}
+		f.SetSink("out", node)
+		if err := f.DeriveEffects(false); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		tree, err := optimizer.FromFlow(f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		alts := optimizer.NewEnumerator().Enumerate(tree)
+
+		// Per-side-unique keys, payloads a function of the key (see above).
+		lPerm, rPerm := rng.Perm(keyDomain), rng.Perm(keyDomain)
+		lData := make(record.DataSet, nL)
+		for i := range lData {
+			k := int64(lPerm[i])
+			lData[i] = record.Record{record.Int(k), record.Int(k*3 + 1)}
+		}
+		rData := make(record.DataSet, nR)
+		for i := range rData {
+			k := int64(rPerm[i])
+			rData[i] = record.Record{record.Null, record.Null, record.Int(k), record.Int(k*5 + 2)}
+		}
+		e := New(3)
+		e.AddSource("L", lData)
+		e.AddSource("R", rData)
+		e.SpillDir = spillDir
+		po := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(f), 3)
+
+		var ref record.DataSet
+		for i, a := range alts {
+			phys := po.Optimize(a)
+
+			e.MemoryBudget = 0
+			unlimited, _, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s: %v", trial, a, err)
+			}
+
+			// A share of a few dozen bytes per partition and side: every
+			// shuffled join input with more than ~two batches per partition
+			// spills (the floor keeps runs at one batch's worth or more).
+			e.MemoryBudget = 96 * e.DOP
+			budgeted, stats, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s (budgeted): %v", trial, a, err)
+			}
+			for _, op := range stats.PerOp {
+				if op.Name == "J" && op.SpillRuns > 0 {
+					sawJoinSpill = true
+				}
+			}
+
+			if len(budgeted) != len(unlimited) {
+				t.Fatalf("trial %d plan %s: budgeted %d records, unlimited %d",
+					trial, a, len(budgeted), len(unlimited))
+			}
+			for j := range unlimited {
+				if !budgeted[j].Equal(unlimited[j]) {
+					t.Fatalf("trial %d plan %s: record %d is %v budgeted, %v unlimited\nUDFs:\n%s",
+						trial, a, j, budgeted[j], unlimited[j], src)
+				}
+			}
+
+			if i == 0 {
+				ref = budgeted
+				continue
+			}
+			if !budgeted.Equal(ref) {
+				t.Fatalf("trial %d: budgeted plan %s output differs from %s\nUDFs:\n%s",
+					trial, a, alts[0], src)
+			}
+		}
+	}
+	if !sawJoinSpill {
+		t.Fatal("no trial ever spilled a Match input — the tiny budget is not exercising the join spill path")
+	}
+}
+
 // TestRandomReducePipelinesEquivalent adds a Reduce with a random key to
 // random Map pipelines, exercising the KGP machinery end to end.
 func TestRandomReducePipelinesEquivalent(t *testing.T) {

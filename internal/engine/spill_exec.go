@@ -14,13 +14,14 @@ import (
 
 // This file implements the engine's out-of-core execution path: shuffle
 // receivers that track resident bytes against Engine.MemoryBudget and spill
-// sorted runs to disk on overflow, and external sort-merge grouping for
-// Reduce and CoGroup over the merged runs. The invariant that makes the
-// path transparent is canonical group order: in-memory grouping
-// (groupRecords) and the external merge both emit groups in ascending key
-// order with records in arrival order inside a group, so a plan produces
-// byte-identical output whether zero, some, or all partitions overflowed.
-// See DESIGN.md ("Memory model & spilling").
+// sorted runs to disk on overflow, and external sort-merge execution over
+// the merged runs — grouping for Reduce and CoGroup, and (join_spill.go)
+// the external merge join for Match. The invariant that makes the path
+// transparent is canonical order: in-memory grouping (groupRecords) and
+// joining (joinPartition) and the external merges all emit key groups in
+// ascending key order with records in arrival order inside a group, so a
+// plan produces byte-identical output whether zero, some, or all
+// partitions overflowed. See DESIGN.md ("Memory model & spilling").
 
 // partitionSpill is one target partition's overflow state: the spill file
 // (created lazily on first overflow), the sorted runs written so far, and
@@ -48,13 +49,16 @@ func sortByKey(recs []record.Record, keys []int) {
 }
 
 // spillEligible reports whether this plan node executes through the
-// budget-tracked, spill-capable shuffle receivers: a grouping operator
-// (Reduce, CoGroup) with at least one hash-partitioned input, under an
-// engine with a memory budget. The legacy record-at-a-time shuffle predates
-// spilling and keeps the fully resident path, exactly as it bypasses
-// batching and combining. Forward-shipped inputs are already resident in
-// the producer's partitions, so there is no receiver to bound; they group
-// in memory as before.
+// budget-tracked, spill-capable shuffle receivers: a grouping or join
+// operator (Reduce, CoGroup, Match) with at least one hash-partitioned
+// input, under an engine with a memory budget. The legacy record-at-a-time
+// shuffle predates spilling and keeps the fully resident path, exactly as
+// it bypasses batching and combining. Forward-shipped inputs are already
+// resident in the producer's partitions, so there is no receiver to bound;
+// they group in memory as before. Broadcast-joined sides (Match strategy B,
+// Cross) are replicated rather than shuffled and stay fully resident — the
+// optimizer's spill term prices that residency, but the engine does not yet
+// spill it.
 func (e *Engine) spillEligible(p *optimizer.PhysPlan) bool {
 	if e.MemoryBudget <= 0 || e.LegacyShuffle {
 		return false
@@ -62,7 +66,7 @@ func (e *Engine) spillEligible(p *optimizer.PhysPlan) bool {
 	switch p.Op.Kind {
 	case dataflow.KindReduce:
 		return len(p.Inputs) == 1 && len(p.Ship) == 1 && p.Ship[0] == optimizer.ShipPartition
-	case dataflow.KindCoGroup:
+	case dataflow.KindCoGroup, dataflow.KindMatch:
 		if len(p.Inputs) != 2 || len(p.Ship) != 2 {
 			return false
 		}
@@ -81,12 +85,14 @@ func (e *Engine) spillEligible(p *optimizer.PhysPlan) bool {
 	return false
 }
 
-// execSpillGrouped executes a shuffled grouping operator through the
-// spill-capable receivers: every hash-partitioned input is shuffled with
-// budget-tracked collectors, and the local strategy runs external
-// sort-merge grouping on partitions that overflowed. The memory budget is
-// split evenly across the operator's DOP partitions (and across both
-// inputs for a CoGroup shuffling both sides).
+// execSpillGrouped executes a shuffled grouping or join operator through
+// the spill-capable receivers: every hash-partitioned input is shuffled
+// with budget-tracked collectors, and the local strategy runs external
+// sort-merge grouping (Reduce, CoGroup) or the external merge join (Match)
+// on partitions that overflowed. The memory budget is split evenly across
+// the operator's DOP partitions (and across both inputs for a CoGroup or
+// Match shuffling both sides); spillCollect floors each share at one
+// batch's worth.
 func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
 	op := p.Op
 	inputs := make([]Partitioned, len(p.Inputs))
@@ -159,7 +165,9 @@ func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Parti
 	case dataflow.KindReduce:
 		out, calls, err = e.localReduceSpilled(p, inputs[0], spills[0])
 	case dataflow.KindCoGroup:
-		out, calls, err = e.localCoGroupSpilled(op, inputs[0], inputs[1], spills[0], spills[1])
+		out, calls, err = e.alignedSpilled(op, inputs[0], inputs[1], spills[0], spills[1], e.coGroupAligned)
+	case dataflow.KindMatch:
+		out, calls, err = e.alignedSpilled(op, inputs[0], inputs[1], spills[0], spills[1], e.matchAligned)
 	default:
 		err = fmt.Errorf("engine: %s is not a spillable grouping operator", op.Kind)
 	}
@@ -215,17 +223,26 @@ func (e *Engine) spillShuffle(in Partitioned, keys []int, budget int) (Partition
 // but tracks the buffer's resident bytes (wire encoding, the unit
 // MemoryBudget is expressed in) and, when they exceed the per-partition
 // budget, sorts the buffer by key and writes it to the partition's spill
-// file as one run. The buffer's backing array is reused across runs, so a
-// partition's steady-state footprint is one budget's worth of records. On a
-// disk error the collector keeps draining (senders must never block) but
-// discards the drained records — the run is doomed and buffering its
-// remainder would grow residency without bound in exactly the
-// memory-constrained setting spilling exists for; the error surfaces from
-// spillShuffle.
+// file as one run. The per-partition share is floored at one batch's worth
+// (the largest batch the collector has buffered so far): the integer
+// division splitting MemoryBudget across DOP×inputs truncates a tiny
+// budget to zero, and an unfloored zero share would spill every arriving
+// batch as its own sorted run — a run count proportional to the batch
+// count and a merge cursor per run, instead of the intended handful of
+// budget-sized runs. With the floor, a run always covers more than one
+// arriving batch, so the worst-case residency is about two batches' worth.
+// The buffer's backing array is reused across runs (cleared first, so the
+// truncated tail does not pin the spilled records against GC — the
+// resident-bytes bound must count live records only). On a disk error the
+// collector keeps draining (senders must never block) but discards the
+// drained records — the run is doomed and buffering its remainder would
+// grow residency without bound in exactly the memory-constrained setting
+// spilling exists for; the error surfaces from spillShuffle.
 func (e *Engine) spillCollect(st *shuffleState, out Partitioned, sp *partitionSpill, i int, keys []int, budget int) {
 	defer st.collectors.Done()
 	var buf []record.Record
 	resident := 0
+	maxBatch := 0
 	for b := range st.chans[i] {
 		if sp.err != nil {
 			record.PutBatch(b)
@@ -233,8 +250,11 @@ func (e *Engine) spillCollect(st *shuffleState, out Partitioned, sp *partitionSp
 		}
 		buf = append(buf, b.Records()...)
 		resident += b.EncodedSize()
+		if b.EncodedSize() > maxBatch {
+			maxBatch = b.EncodedSize()
+		}
 		record.PutBatch(b)
-		if resident <= budget || len(buf) == 0 {
+		if resident <= max(budget, maxBatch) || len(buf) == 0 {
 			continue
 		}
 		sortByKey(buf, keys)
@@ -250,6 +270,7 @@ func (e *Engine) spillCollect(st *shuffleState, out Partitioned, sp *partitionSp
 		}
 		sp.runs = append(sp.runs, run)
 		sp.bytes += int(run.Length)
+		clear(buf)
 		buf = buf[:0]
 		resident = 0
 	}
@@ -490,9 +511,13 @@ func (e *Engine) coGroupAligned(op *dataflow.Operator, l, r groupCursor, lKeys, 
 	return out, calls, nil
 }
 
-// localCoGroupSpilled co-groups every partition pair concurrently, using
-// external merges for sides that overflowed.
-func (e *Engine) localCoGroupSpilled(op *dataflow.Operator, l, r Partitioned, lSpills, rSpills []*partitionSpill) (Partitioned, int, error) {
+// alignedSpilled runs a two-sided aligned operator over every partition
+// pair concurrently, feeding the aligner — coGroupAligned for CoGroup,
+// matchAligned for Match — from external merges for sides that overflowed
+// and from in-memory sorted groups for sides that did not.
+func (e *Engine) alignedSpilled(op *dataflow.Operator, l, r Partitioned, lSpills, rSpills []*partitionSpill,
+	align func(op *dataflow.Operator, lc, rc groupCursor, lKeys, rKeys []int) ([]record.Record, int, error),
+) (Partitioned, int, error) {
 	n := len(l)
 	if len(r) > n {
 		n = len(r)
@@ -521,7 +546,7 @@ func (e *Engine) localCoGroupSpilled(op *dataflow.Operator, l, r Partitioned, lS
 		if err != nil {
 			return nil, 0, err
 		}
-		return e.coGroupAligned(op, lc, rc, op.Keys[0], op.Keys[1])
+		return align(op, lc, rc, op.Keys[0], op.Keys[1])
 	})
 }
 

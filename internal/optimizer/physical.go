@@ -176,11 +176,13 @@ type PhysicalOptimizer struct {
 	// optimization for the ablation benchmark).
 	ShareSubplans bool
 	// MemoryBudget mirrors the engine's Engine.MemoryBudget (bytes; zero =
-	// unlimited): when set, shuffled grouping operators whose receiver
-	// volume exceeds it are charged the disk traffic of sorting, spilling,
-	// and externally merging the overflow (see spillCost). The term is what
-	// makes plan enumeration prefer combinable or forward-shipping
-	// alternatives exactly when the budget is tight.
+	// unlimited): when set, shuffled grouping and join operators whose
+	// receiver volume exceeds it are charged the disk traffic of sorting,
+	// spilling, and externally merging the overflow (see spillCost), and
+	// broadcast join build sides are charged on their replicated volume
+	// (broadcastSpillCost). The term is what makes plan enumeration prefer
+	// combinable, forward-shipping, or broadcast alternatives exactly when
+	// the budget is tight.
 	MemoryBudget float64
 
 	memo map[string][]*PhysPlan
@@ -360,12 +362,17 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 				ship[small] = ShipBroadcast
 				ship[big] = ShipForward
 				net := ins[small].OutBytes * float64(po.DOP)
+				// The broadcast side is fully resident on every node; under a
+				// budget, its replicated volume is charged the spill term
+				// (see broadcastSpillCost).
 				out = append(out, &PhysPlan{
 					Op: op, Tree: t, Inputs: ins,
 					Ship: ship, Local: LocalNestedLoop,
 					Partitioned: ins[big].Partitioned,
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t)}),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+						Disk: po.broadcastSpillCost(ins[small].OutBytes),
+						CPU:  po.Est.CPUCost(t)}),
 				})
 			}
 		}
@@ -391,10 +398,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 				}
 				// The memory budget is split across the shuffled sides,
 				// mirroring the engine's per-input share.
-				var spillDisk float64
-				for _, vol := range shuffledVols {
-					spillDisk += spillCost(vol, po.MemoryBudget/float64(len(shuffledVols)))
-				}
+				spillDisk := po.shuffledSpillCost(shuffledVols)
 				sortCPU := cpuSortFactor * (l.OutRecords*math.Log2(math.Max(l.OutRecords, 2)) +
 					r.OutRecords*math.Log2(math.Max(r.OutRecords, 2)))
 				out = append(out, &PhysPlan{
@@ -429,10 +433,41 @@ func (po *PhysicalOptimizer) combinedShuffleBytes(op *dataflow.Operator, in *Phy
 	return recs * width
 }
 
+// broadcastSpillCost prices the residency of a broadcast join build side
+// under a memory budget: the side is replicated to every node, so the
+// spill term is charged on DOP copies of its volume against the whole
+// budget (equivalently: each node's copy against its per-node share). The
+// engine does not yet spill broadcast sides — the charge models what a
+// spilling implementation must pay, so a tight budget stops pricing
+// broadcast joins as free exactly as it stops pricing repartition joins
+// as free.
+func (po *PhysicalOptimizer) broadcastSpillCost(sideBytes float64) float64 {
+	return spillCost(sideBytes*float64(po.DOP), po.MemoryBudget)
+}
+
+// shuffledSpillCost sums the spill disk term over the shuffled input
+// volumes of a co-partitioned grouping or join, splitting the budget
+// across the shuffled sides exactly as the engine splits it across
+// spill-tracked inputs.
+func (po *PhysicalOptimizer) shuffledSpillCost(vols []float64) float64 {
+	if len(vols) == 0 {
+		return 0
+	}
+	var disk float64
+	for _, vol := range vols {
+		disk += spillCost(vol, po.MemoryBudget/float64(len(vols)))
+	}
+	return disk
+}
+
 // joinPlans enumerates the Match strategies of the paper's Section 7.3
 // discussion: repartition both sides and hash-join (reusing existing
 // partitionings), or broadcast the smaller side and keep the larger local,
-// or repartition and sort-merge.
+// or repartition and sort-merge. Under a memory budget every strategy is
+// charged the spill disk term on the volume it materializes on the
+// receivers — the shuffled sides for A/C (split like CoGroup), the
+// replicated build side for B — so tight budgets steer enumeration between
+// repartition and broadcast joins instead of pricing both as spill-free.
 func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*PhysPlan {
 	op := t.Op
 	lKey, rKey := op.KeySet(0), op.KeySet(1)
@@ -446,11 +481,13 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 			{
 				ship := []Shipping{ShipPartition, ShipPartition}
 				var net float64
+				var shuffledVols []float64
 				for i, in := range ins {
 					if in.Partitioned.Len() > 0 && in.Partitioned.Equal(keys[i]) {
 						ship[i] = ShipForward
 					} else {
 						net += in.OutBytes
+						shuffledVols = append(shuffledVols, in.OutBytes)
 					}
 				}
 				build := 0
@@ -463,7 +500,9 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 					Ship: ship, Local: LocalHashJoin, BuildSide: build,
 					Partitioned: keys[0].Clone().UnionWith(keys[1]),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + cpu}),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+						Disk: po.shuffledSpillCost(shuffledVols),
+						CPU:  po.Est.CPUCost(t) + cpu}),
 				})
 			}
 
@@ -478,7 +517,9 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 					Ship: ship, Local: LocalHashJoin, BuildSide: bc,
 					Partitioned: ins[1-bc].Partitioned,
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + cpu}),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+						Disk: po.broadcastSpillCost(ins[bc].OutBytes),
+						CPU:  po.Est.CPUCost(t) + cpu}),
 				})
 			}
 
@@ -486,11 +527,13 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 			{
 				ship := []Shipping{ShipPartition, ShipPartition}
 				var net float64
+				var shuffledVols []float64
 				for i, in := range ins {
 					if in.Partitioned.Len() > 0 && in.Partitioned.Equal(keys[i]) {
 						ship[i] = ShipForward
 					} else {
 						net += in.OutBytes
+						shuffledVols = append(shuffledVols, in.OutBytes)
 					}
 				}
 				cpu := cpuSortFactor * (l.OutRecords*math.Log2(math.Max(l.OutRecords, 2)) +
@@ -500,7 +543,9 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 					Ship: ship, Local: LocalMergeJoin,
 					Partitioned: keys[0].Clone().UnionWith(keys[1]),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, CPU: po.Est.CPUCost(t) + cpu}),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+						Disk: po.shuffledSpillCost(shuffledVols),
+						CPU:  po.Est.CPUCost(t) + cpu}),
 				})
 			}
 		}

@@ -121,6 +121,149 @@ func TestSpillCostPrefersCombinable(t *testing.T) {
 	}
 }
 
+// buildJoinCostFlow returns an L ⋈ R flow with the given per-side record
+// counts (two 10-byte attributes per side: ~24 estimated bytes/record).
+func buildJoinCostFlow(t *testing.T, lRecs, rRecs float64) (*dataflow.Flow, *Tree) {
+	t.Helper()
+	prog := tac.MustParse(`
+func binary jn($l, $r) {
+	$o := concat $l $r
+	emit $o
+}
+`)
+	udf, _ := prog.Lookup("jn")
+	f := dataflow.NewFlow()
+	l := f.Source("L", []string{"lk", "lv"}, dataflow.Hints{Records: lRecs, AvgWidthBytes: 20})
+	r := f.Source("R", []string{"rk", "rv"}, dataflow.Hints{Records: rRecs, AvgWidthBytes: 20})
+	j := f.Match("J", udf, []string{"lk"}, []string{"rk"}, l, r, dataflow.Hints{KeyCardinality: 1000})
+	f.SetSink("out", j)
+	if err := f.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := FromFlow(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, tree
+}
+
+func findKind(p *PhysPlan, kind dataflow.OpKind) *PhysPlan {
+	if p.Op.Kind == kind {
+		return p
+	}
+	for _, in := range p.Inputs {
+		if n := findKind(in, kind); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// TestSpillCostJoinTerm: a budget below a join's shuffled (or broadcast)
+// volume adds a disk term to the Match node; a generous budget leaves the
+// plan cost unchanged — joins are no longer priced as spill-free.
+func TestSpillCostJoinTerm(t *testing.T) {
+	f, tree := buildJoinCostFlow(t, 15000, 12000)
+	unlimited, _ := bestCost(t, f, tree, 0)
+	generous, _ := bestCost(t, f, tree, 1e9)
+	if generous != unlimited {
+		t.Errorf("a budget above the working set changed the cost: %g vs %g", generous, unlimited)
+	}
+	tight, tightPlan := bestCost(t, f, tree, 64<<10)
+	if tight <= unlimited {
+		t.Errorf("a tight budget did not add cost: tight %g, unlimited %g", tight, unlimited)
+	}
+	match := findKind(tightPlan, dataflow.KindMatch)
+	if match == nil {
+		t.Fatal("no Match in plan")
+	}
+	inputDisk := match.Inputs[0].Cost.Disk + match.Inputs[1].Cost.Disk
+	if match.Cost.Disk <= inputDisk {
+		t.Errorf("tight-budget Match carries no spill disk cost:\n%s", tightPlan.Indent())
+	}
+}
+
+// TestSpillCostSteersJoinStrategy: the sizes are chosen so the repartition
+// join wins on network volume when memory is unlimited, but under a budget
+// that the replicated small side still fits — while the shuffled big side
+// overflows — the disk term flips enumeration to the broadcast join. This
+// is the join-strategy steering the spill-aware term exists for.
+func TestSpillCostSteersJoinStrategy(t *testing.T) {
+	// DOP 8; ~24 B/record: L ≈ 360 KB, R ≈ 60 KB. Repartition net ≈ 420 KB
+	// beats broadcast net ≈ 480 KB unbudgeted; under a 480 KB budget the
+	// broadcast build side (60 KB × 8) just fits while the repartition plan
+	// spills L (360 KB > 240 KB per-side share).
+	f, tree := buildJoinCostFlow(t, 15000, 2500)
+
+	_, freePlan := bestCost(t, f, tree, 0)
+	freeMatch := findKind(freePlan, dataflow.KindMatch)
+	if freeMatch == nil {
+		t.Fatal("no Match in plan")
+	}
+	for i, s := range freeMatch.Ship {
+		if s != ShipPartition {
+			t.Fatalf("unbudgeted input %d ships %s, want partition:\n%s", i, s, freePlan.Indent())
+		}
+	}
+
+	_, tightPlan := bestCost(t, f, tree, 480_000)
+	tightMatch := findKind(tightPlan, dataflow.KindMatch)
+	if tightMatch == nil {
+		t.Fatal("no Match in plan")
+	}
+	broadcast := false
+	for _, s := range tightMatch.Ship {
+		if s == ShipBroadcast {
+			broadcast = true
+		}
+	}
+	if !broadcast {
+		t.Errorf("tight budget did not steer the join to broadcast:\n%s", tightPlan.Indent())
+	}
+}
+
+// TestSpillCostCrossBroadcastTerm: a Cross's broadcast build side is
+// charged the spill term on its replicated volume once it exceeds the
+// budget.
+func TestSpillCostCrossBroadcastTerm(t *testing.T) {
+	prog := tac.MustParse(`
+func binary pair($l, $r) {
+	$o := concat $l $r
+	emit $o
+}
+`)
+	udf, _ := prog.Lookup("pair")
+	f := dataflow.NewFlow()
+	l := f.Source("L", []string{"a"}, dataflow.Hints{Records: 20000, AvgWidthBytes: 10})
+	r := f.Source("R", []string{"b"}, dataflow.Hints{Records: 5000, AvgWidthBytes: 10})
+	cr := f.Cross("X", udf, l, r, dataflow.Hints{})
+	f.SetSink("out", cr)
+	if err := f.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := FromFlow(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, _ := bestCost(t, f, tree, 0)
+	generous, _ := bestCost(t, f, tree, 1e9)
+	if generous != unlimited {
+		t.Errorf("a budget above the working set changed the cost: %g vs %g", generous, unlimited)
+	}
+	tight, tightPlan := bestCost(t, f, tree, 32<<10)
+	if tight <= unlimited {
+		t.Errorf("a tight budget did not charge the Cross broadcast side: tight %g, unlimited %g", tight, unlimited)
+	}
+	cross := findKind(tightPlan, dataflow.KindCross)
+	if cross == nil {
+		t.Fatal("no Cross in plan")
+	}
+	inputDisk := cross.Inputs[0].Cost.Disk + cross.Inputs[1].Cost.Disk
+	if cross.Cost.Disk <= inputDisk {
+		t.Errorf("tight-budget Cross carries no spill disk cost:\n%s", tightPlan.Indent())
+	}
+}
+
 // TestSpillCostPasses: the notional multi-pass penalty grows the term once
 // the estimated run count exceeds the modeled merge fan-in.
 func TestSpillCostPasses(t *testing.T) {
