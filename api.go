@@ -51,6 +51,7 @@ import (
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/engine"
 	"blackboxflow/internal/frontend"
+	"blackboxflow/internal/jobs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/props"
 	"blackboxflow/internal/record"
@@ -205,7 +206,11 @@ type (
 	// runtime with a batched shuffle, fused Map chains, pre-shuffle partial
 	// aggregation for combinable Reduces, and — when Engine.MemoryBudget is
 	// set — spill-to-disk external grouping and joining for working sets
-	// larger than memory (see DESIGN.md).
+	// larger than memory (see DESIGN.md). Engine.RunContext runs a plan
+	// under a context: cancellation and deadlines propagate cooperatively
+	// into the shuffle senders, spill collectors, and local-strategy
+	// loops, and a cancelled run removes its spill files before
+	// returning.
 	Engine = engine.Engine
 	// RunStats reports per-operator records, shipped bytes, UDF calls,
 	// combiner calls, and spill activity (SpilledBytes, SpillRuns).
@@ -219,6 +224,63 @@ type (
 // grouping and join shuffle receivers (spilling the overflow to sorted
 // disk runs) and WithNetBandwidth to simulate a cluster interconnect.
 func NewEngine(dop int) *Engine { return engine.New(dop) }
+
+// Job-scheduling re-exports: the concurrency layer above single-plan
+// execution (see internal/jobs and DESIGN.md "Job scheduling & admission
+// control").
+type (
+	// Scheduler runs many flows concurrently on pooled engines under
+	// admission control over a shared global memory budget: jobs queue
+	// FIFO, each admitted job receives a budget grant that both the
+	// optimizer's spill-cost model and the engine's spill receivers
+	// honor, and every job runs under its own cancellable context.
+	Scheduler = jobs.Scheduler
+	// SchedulerConfig parameterizes a Scheduler (global budget, engine
+	// pool size, queue depth, default deadline, spill directory).
+	SchedulerConfig = jobs.Config
+	// JobSpec describes one submitted job: flow, sources, and per-job
+	// resource asks (budget, DOP, deadline).
+	JobSpec = jobs.Spec
+	// Job is the handle of a submitted job: Wait, Cancel, State, Result.
+	Job = jobs.Job
+	// JobState is a job's lifecycle phase (queued → running → terminal).
+	JobState = jobs.State
+	// JobMetrics is a snapshot of scheduler admission counters and gauges
+	// (queue depth, granted budget, peaks, queue-wait totals).
+	JobMetrics = jobs.Metrics
+	// ScriptJob is the declarative JSON job document (PactScript UDFs +
+	// flow wiring + inline data) that cmd/flowserve accepts over HTTP.
+	ScriptJob = jobs.ScriptJob
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobSucceeded = jobs.StateSucceeded
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// Scheduling errors.
+var (
+	ErrSchedulerClosed = jobs.ErrClosed
+	ErrQueueFull       = jobs.ErrQueueFull
+	ErrJobCancelled    = jobs.ErrCancelled
+	// ErrJobNotFinished is returned by Job.Result while the job is still
+	// queued or running.
+	ErrJobNotFinished = jobs.ErrNotFinished
+)
+
+// NewScheduler returns a job scheduler with the given admission
+// configuration. Submit queues a JobSpec; the returned Job's Wait blocks
+// for its result. See DESIGN.md for the admission model.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return jobs.New(cfg) }
+
+// ParseJobDocument turns a JSON job document (ScriptJob: PactScript source,
+// flow wiring, inline data) into a Spec ready for Scheduler.Submit — the
+// same front door cmd/flowserve exposes over HTTP.
+func ParseJobDocument(raw []byte) (JobSpec, error) { return jobs.ParseScriptJob(raw) }
 
 // SamplingOptions configure DeriveHintsBySampling.
 type SamplingOptions = sampling.Options

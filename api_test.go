@@ -1,6 +1,8 @@
 package blackboxflow_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -181,5 +183,93 @@ func TestFacadeValueHelpers(t *testing.T) {
 	if r.Field(0).AsInt() != 1 || r.Field(1).AsFloat() != 2.5 ||
 		r.Field(2).AsString() != "x" || !r.Field(3).AsBool() || !r.Field(4).IsNull() {
 		t.Errorf("value helpers broken: %v", r)
+	}
+}
+
+// TestSchedulerFacade drives the job-service surface of the facade: parse a
+// JSON job document, submit it to a public Scheduler alongside a
+// programmatic JobSpec, wait for both, and read the admission metrics.
+func TestSchedulerFacade(t *testing.T) {
+	sched := blackboxflow.NewScheduler(blackboxflow.SchedulerConfig{
+		GlobalBudget:  1 << 20,
+		MaxConcurrent: 2,
+		DOP:           2,
+	})
+
+	spec, err := blackboxflow.ParseJobDocument([]byte(`{
+	  "name": "doc-job",
+	  "script": "reduce count(g) { first := g.at(0) out := copy(first) out[1] = count(g, 0) emit out }",
+	  "flow": {
+	    "sources": [{"name": "words", "attrs": ["word", "n"]}],
+	    "ops": [{"kind": "reduce", "udf": "count", "inputs": ["words"], "keys": [["word"]], "key_cardinality": 2}],
+	    "sink": "count"
+	  },
+	  "data": {"words": [["x", null], ["y", null], ["x", null]]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docJob, err := sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := blackboxflow.MustCompileUDFs(`
+reduce total(g) {
+	first := g.at(0)
+	out := copy(first)
+	out[1] = sum(g, 1)
+	emit out
+}`)
+	flow := blackboxflow.NewFlow()
+	src := flow.Source("in", []string{"k", "v"}, blackboxflow.Hints{Records: 100, AvgWidthBytes: 18})
+	red := flow.Reduce("total", prog.Funcs["total"], []string{"k"}, src, blackboxflow.Hints{KeyCardinality: 10})
+	flow.SetSink("out", red)
+	if err := flow.DeriveEffects(false); err != nil {
+		t.Fatal(err)
+	}
+	data := make(blackboxflow.DataSet, 100)
+	for i := range data {
+		data[i] = blackboxflow.Record{blackboxflow.Int(int64(i % 10)), blackboxflow.Int(int64(i))}
+	}
+	progJob, err := sched.Submit(blackboxflow.JobSpec{
+		Name:    "prog-job",
+		Flow:    flow,
+		Sources: map[string]blackboxflow.DataSet{"in": data},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	docOut, _, err := docJob.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docOut) != 2 {
+		t.Errorf("doc job emitted %d groups, want 2", len(docOut))
+	}
+	progOut, stats, err := progJob.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progOut) != 10 {
+		t.Errorf("programmatic job emitted %d groups, want 10", len(progOut))
+	}
+	if stats.TotalUDFCalls() == 0 {
+		t.Error("job stats recorded no UDF calls")
+	}
+	if st := progJob.State(); st != blackboxflow.JobSucceeded {
+		t.Errorf("state = %v, want succeeded", st)
+	}
+
+	m := sched.Metrics()
+	if m.Submitted != 2 || m.Succeeded != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if err := sched.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Submit(spec); err == nil || !errors.Is(err, blackboxflow.ErrSchedulerClosed) {
+		t.Errorf("submit after shutdown: err = %v, want ErrSchedulerClosed", err)
 	}
 }

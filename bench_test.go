@@ -8,10 +8,12 @@
 package blackboxflow_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"blackboxflow"
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/engine"
 	"blackboxflow/internal/experiments"
@@ -793,5 +795,187 @@ func reduce first($g) {
 		if _, _, err := e.Run(plan); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ------------------------------------------------------------ Job service
+
+// BenchmarkConcurrentJobs measures the job scheduler's throughput on a
+// batch of mixed grouping/join jobs under one shared memory budget, serial
+// (one engine slot) versus concurrent (four slots; the global budget admits
+// all four). Per-job grants are tight enough that every job spills, so the
+// benchmark exercises admission control, pooled engines, per-job spill
+// directories, and the budget-aware optimizer together. The serial/
+// concurrent ns ratio is the committed BENCH_jobs.json baseline that
+// cmd/benchguard enforces.
+func BenchmarkConcurrentJobs(b *testing.B) {
+	const (
+		nJobs   = 8
+		perJob  = 96 << 10
+		global  = 4 * perJob
+		n       = 30000
+		keyCard = 12000
+	)
+	prog := tac.MustParse(`
+func reduce jtally($g) {
+	$first := groupget $g 0
+	$or := copyrec $first
+	$s := agg sum $g 1
+	setfield $or 1 $s
+	emit $or
+}
+
+func binary jpair($l, $r) {
+	$out := concat $l $r
+	emit $out
+}`)
+	tally, _ := prog.Lookup("jtally")
+	pair, _ := prog.Lookup("jpair")
+
+	groupJob := func(seed int64) blackboxflow.JobSpec {
+		f := dataflow.NewFlow()
+		src := f.Source("in", []string{"k", "v"}, dataflow.Hints{Records: n, AvgWidthBytes: 20})
+		red := f.Reduce("jtally", tally, []string{"k"}, src, dataflow.Hints{KeyCardinality: keyCard})
+		f.SetSink("out", red)
+		if err := f.DeriveEffects(false); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		data := make(record.DataSet, n)
+		for i := range data {
+			data[i] = record.Record{record.Int(int64(rng.Intn(keyCard))), record.Int(int64(rng.Intn(1000)))}
+		}
+		return blackboxflow.JobSpec{
+			Flow: f, Sources: map[string]record.DataSet{"in": data},
+			MemoryBudget: perJob, DOP: 2,
+		}
+	}
+	joinJob := func(seed int64) blackboxflow.JobSpec {
+		f := dataflow.NewFlow()
+		l := f.Source("L", []string{"lk", "lv"}, dataflow.Hints{Records: n / 2, AvgWidthBytes: 20})
+		r := f.Source("R", []string{"rk", "rv"}, dataflow.Hints{Records: n / 2, AvgWidthBytes: 20})
+		m := f.Match("jpair", pair, []string{"lk"}, []string{"rk"}, l, r,
+			dataflow.Hints{KeyCardinality: keyCard / 2})
+		f.SetSink("out", m)
+		if err := f.DeriveEffects(false); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(pad int) record.DataSet {
+			ds := make(record.DataSet, n/2)
+			for i := range ds {
+				k := int64(rng.Intn(keyCard / 2))
+				rec := make(record.Record, pad+2)
+				rec[pad] = record.Int(k)
+				rec[pad+1] = record.Int(k * 13)
+				ds[i] = rec
+			}
+			return ds
+		}
+		return blackboxflow.JobSpec{
+			Flow: f, Sources: map[string]record.DataSet{"L": mk(0), "R": mk(2)},
+			MemoryBudget: perJob, DOP: 2,
+		}
+	}
+
+	specs := make([]blackboxflow.JobSpec, nJobs)
+	for i := range specs {
+		if i%2 == 0 {
+			specs[i] = groupJob(int64(300 + i))
+		} else {
+			specs[i] = joinJob(int64(400 + i))
+		}
+	}
+
+	// Direct baseline: the same specs, optimized and run back-to-back on
+	// one engine with the same per-job budget but no scheduler in the way.
+	// The serial/direct ns ratio is the scheduler's admission + pooling
+	// overhead — a hardware-portable ratio (both sides do identical
+	// engine work on the same machine), unlike the concurrent speedup,
+	// which scales with available cores.
+	b.Run("direct", func(b *testing.B) {
+		dir := b.TempDir()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				plan, err := blackboxflow.OptimizeBudget(spec.Flow, 2, perJob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := blackboxflow.NewEngine(2).WithMemoryBudget(perJob)
+				e.SpillDir = dir
+				for name, ds := range spec.Sources {
+					e.AddSource(name, ds)
+				}
+				out, _, err := e.Run(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) == 0 {
+					b.Fatal("job produced no output")
+				}
+			}
+		}
+		b.ReportMetric(float64(nJobs), "jobs/op")
+	})
+
+	for _, mode := range []struct {
+		name  string
+		slots int
+	}{
+		{"serial", 1},
+		{"concurrent", 4},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			b.ResetTimer()
+			var spilled, peakGranted, peakRunning int
+			for i := 0; i < b.N; i++ {
+				s := blackboxflow.NewScheduler(blackboxflow.SchedulerConfig{
+					GlobalBudget:  global,
+					MaxConcurrent: mode.slots,
+					MaxQueue:      -1,
+					DOP:           2,
+					SpillDir:      dir,
+				})
+				handles := make([]*blackboxflow.Job, nJobs)
+				for jI, spec := range specs {
+					j, err := s.Submit(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles[jI] = j
+				}
+				spilled = 0
+				for _, j := range handles {
+					out, stats, err := j.Wait(context.Background())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(out) == 0 {
+						b.Fatal("job produced no output")
+					}
+					spilled += stats.TotalSpilledBytes()
+				}
+				m := s.Metrics()
+				peakGranted, peakRunning = m.PeakGrantedBudget, m.PeakRunning
+				if m.PeakGrantedBudget > global {
+					b.Fatalf("peak granted %d exceeded the global budget %d", m.PeakGrantedBudget, global)
+				}
+				if m.PeakRunning > mode.slots {
+					b.Fatalf("%d jobs ran concurrently with %d slots", m.PeakRunning, mode.slots)
+				}
+			}
+			if spilled == 0 {
+				b.Fatal("no job spilled; grants are not exercising the budget")
+			}
+			b.ReportMetric(float64(nJobs), "jobs/op")
+			b.ReportMetric(float64(spilled), "spilled-B/op")
+			b.ReportMetric(float64(peakGranted), "peak-granted-B")
+			b.ReportMetric(float64(peakRunning), "peak-running")
+			// Reported so benchguard can check peak ≤ global without
+			// duplicating this file's constants.
+			b.ReportMetric(float64(global), "global-budget-B")
+		})
 	}
 }

@@ -1,8 +1,8 @@
 // Command benchguard closes the loop between the committed BENCH_*.json
 // baselines and CI: it runs the engine micro-benchmarks (shuffle, combiner,
-// spill, joinspill), recomputes the headline ratios, and fails when a
-// freshly measured ratio regresses by more than the threshold (default 25%)
-// against the committed baseline.
+// spill, joinspill) and the job-scheduler benchmark (jobs), recomputes the
+// headline ratios, and fails when a freshly measured ratio regresses by
+// more than the threshold (default 25%) against the committed baseline.
 //
 // Ratios — batched-vs-per-record throughput, combined-vs-plain shipped
 // bytes, spill-vs-in-memory runtime (grouping and join) — are compared
@@ -89,7 +89,7 @@ func main() {
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", ".", "-run", "NONE",
-		"-bench", "BenchmarkShuffle/|BenchmarkCombiner/|BenchmarkSpill/|BenchmarkJoinSpill/",
+		"-bench", "BenchmarkShuffle/|BenchmarkCombiner/|BenchmarkSpill/|BenchmarkJoinSpill/|BenchmarkConcurrentJobs/",
 		"-benchtime", *benchtime)
 	raw, err := cmd.CombinedOutput()
 	if err != nil {
@@ -114,6 +114,9 @@ func main() {
 	spillOff := need("BenchmarkSpill/in-memory")
 	joinOn := need("BenchmarkJoinSpill/spill")
 	joinOff := need("BenchmarkJoinSpill/in-memory")
+	jobsDirect := need("BenchmarkConcurrentJobs/direct")
+	jobsSerial := need("BenchmarkConcurrentJobs/serial")
+	jobsConc := need("BenchmarkConcurrentJobs/concurrent")
 
 	fresh := map[string]float64{
 		"shuffle_throughput":             shufLegacy["ns/op"] / shufBatched["ns/op"],
@@ -126,6 +129,11 @@ func main() {
 		"joinspill_runs":                 joinOn["spill-runs/op"],
 		"shuffle_batched_ns_per_op":      shufBatched["ns/op"],
 		"combiner_combined_shipped_B_op": combOn["shipped-B/op"],
+		"jobs_scheduler_overhead":        jobsSerial["ns/op"] / jobsDirect["ns/op"],
+		"jobs_concurrent_speedup":        jobsSerial["ns/op"] / jobsConc["ns/op"],
+		"jobs_spilled_bytes":             jobsConc["spilled-B/op"],
+		"jobs_peak_granted_B":            jobsConc["peak-granted-B"],
+		"jobs_global_budget_B":           jobsConc["global-budget-B"],
 	}
 
 	failed := false
@@ -172,6 +180,18 @@ func main() {
 	// (≥1.5x) rather than one slow-disk sample.
 	check("joinspill runtime overhead", "BENCH_joinspill.json", "runtime_overhead",
 		fresh["joinspill_runtime_overhead"], true, 2)
+	// The scheduler-overhead ratio compares two runs of identical engine
+	// work on the same host (with vs without the scheduler), so it is
+	// portable like the CPU ratios; double slack because the absolute
+	// overhead is small (~4%) and per-job spill-directory churn adds disk
+	// variance. The concurrent-speedup ratio is ~1.0 on the single-vCPU
+	// baseline machine and only grows with cores, so the lower bound
+	// guards against the scheduler *serializing* concurrent jobs (lock
+	// contention), not against missing speedup.
+	check("jobs scheduler overhead", "BENCH_jobs.json", "scheduler_overhead",
+		fresh["jobs_scheduler_overhead"], true, 2)
+	check("jobs concurrent speedup", "BENCH_jobs.json", "concurrent_speedup",
+		fresh["jobs_concurrent_speedup"], false, 2)
 
 	// Deterministic sanity: the budgeted wordcount and join must actually
 	// spill, and the in-memory twins must not.
@@ -188,6 +208,21 @@ func main() {
 	}
 	if v := joinOff["spilled-B/op"]; v != 0 {
 		fail("BenchmarkJoinSpill/in-memory spilled %.0f bytes, want 0", v)
+	}
+	// The job benchmark's tight grants must actually force spilling, and
+	// admission control must never grant past the global budget (the
+	// benchmark itself b.Fatals on that; the metric — compared against the
+	// budget the same run reported, so no constant is duplicated here — is
+	// belt and braces).
+	if fresh["jobs_spilled_bytes"] <= 0 {
+		fail("BenchmarkConcurrentJobs/concurrent reports no spill activity")
+	}
+	if fresh["jobs_global_budget_B"] <= 0 {
+		fail("BenchmarkConcurrentJobs/concurrent reports no global budget")
+	}
+	if fresh["jobs_peak_granted_B"] > fresh["jobs_global_budget_B"] {
+		fail("BenchmarkConcurrentJobs/concurrent peak granted %.0f B exceeds the %.0f B global budget",
+			fresh["jobs_peak_granted_B"], fresh["jobs_global_budget_B"])
 	}
 
 	if *outPath != "" {

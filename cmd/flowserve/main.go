@@ -1,0 +1,91 @@
+// Command flowserve is the HTTP front door of the job-scheduling
+// subsystem: it accepts PactScript job documents, runs them on a shared
+// admission-controlled scheduler (internal/jobs), and serves status,
+// results, statistics, and cancellation per job.
+//
+//	flowserve -addr :8080 -global-budget 67108864 -max-concurrent 4
+//
+// Endpoints:
+//
+//	POST /jobs             submit a job document (see internal/jobs.ScriptJob);
+//	                       ?wait=1 returns rows inline and cancels the job
+//	                       if the client disconnects while waiting
+//	GET  /jobs             list submitted jobs
+//	GET  /jobs/{id}        job status + per-operator statistics
+//	GET  /jobs/{id}/result rows of a succeeded job
+//	POST /jobs/{id}/cancel evict a queued job / stop a running one
+//	GET  /metrics          scheduler admission metrics
+//	GET  /healthz          liveness (503 while draining)
+//
+// A worked submission example lives in README.md ("flowserve quickstart").
+// On SIGINT/SIGTERM the server drains gracefully: new submissions get 503,
+// accepted jobs finish (up to -drain-timeout, then they are cancelled), and
+// only then does the listener close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blackboxflow/internal/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	globalBudget := flag.Int("global-budget", 64<<20, "shared memory budget in bytes for all running jobs (0 = ungoverned)")
+	maxConcurrent := flag.Int("max-concurrent", 4, "engine pool size (jobs running at once)")
+	maxQueue := flag.Int("max-queue", 128, "pending-queue depth before submissions are rejected (negative = unbounded)")
+	dop := flag.Int("dop", 4, "default degree of parallelism per job")
+	spillDir := flag.String("spill-dir", "", "parent directory for per-job spill directories (default: OS temp)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline, e.g. 30s (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for accepted jobs before cancelling them")
+	flag.Parse()
+
+	sched := jobs.New(jobs.Config{
+		GlobalBudget:  *globalBudget,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		DOP:           *dop,
+		SpillDir:      *spillDir,
+		JobTimeout:    *jobTimeout,
+	})
+	srv := newServer(sched)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("flowserve: draining (waiting up to %v for accepted jobs)", *drainTimeout)
+		srv.draining.Store(true)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := sched.Shutdown(drainCtx); err != nil {
+			log.Printf("flowserve: drain deadline passed, remaining jobs cancelled: %v", err)
+		}
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		httpSrv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("flowserve: listening on %s (budget=%d B, slots=%d, queue=%d, dop=%d)",
+		*addr, *globalBudget, *maxConcurrent, *maxQueue, *dop)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("flowserve: %v", err)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// httpSrv.Shutdown's in-flight-handler grace before exiting, or
+	// clients mid-response get their connections reset.
+	<-drained
+	log.Printf("flowserve: drained, bye")
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"blackboxflow/internal/engine"
+	"blackboxflow/internal/jobs"
+)
+
+// maxJobDocBytes bounds a submitted job document (script + inline data).
+const maxJobDocBytes = 64 << 20
+
+// server is the HTTP front door over a jobs.Scheduler. It keeps every
+// submitted job in memory by ID so results and statistics stay pollable
+// after completion (the registry lives as long as the process; restart to
+// reclaim).
+type server struct {
+	sched    *jobs.Scheduler
+	draining atomic.Bool
+
+	mu   sync.Mutex
+	byID map[int64]*jobs.Job
+}
+
+func newServer(sched *jobs.Scheduler) *server {
+	return &server{sched: sched, byID: map[int64]*jobs.Job{}}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// jobView is the status JSON of one job.
+type jobView struct {
+	ID      int64            `json:"id"`
+	Name    string           `json:"name,omitempty"`
+	State   string           `json:"state"`
+	Grant   int              `json:"grant_bytes"`
+	Error   string           `json:"error,omitempty"`
+	Records int              `json:"records,omitempty"`
+	Stats   []engine.OpStats `json:"stats,omitempty"`
+}
+
+func viewOf(j *jobs.Job) jobView {
+	v := jobView{ID: j.ID, Name: j.Name(), State: j.State().String(), Grant: j.Grant()}
+	out, stats, err := j.Result()
+	if errors.Is(err, jobs.ErrNotFinished) {
+		return v
+	}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	v.Records = len(out)
+	if stats != nil {
+		v.Stats = stats.PerOp
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxJobDocBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(raw) > maxJobDocBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, "job document exceeds %d bytes", maxJobDocBytes)
+		return
+	}
+	spec, err := jobs.ParseScriptJob(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.byID[j.ID] = j
+	s.mu.Unlock()
+
+	// Synchronous mode: ?wait=1 holds the request open until the job
+	// finishes and returns its rows inline. If the client disconnects
+	// while waiting, the request context cancels and the job is cancelled
+	// with it — an abandoned job must not keep burning its budget grant.
+	if r.URL.Query().Get("wait") != "" {
+		out, _, err := j.Wait(r.Context())
+		if r.Context().Err() != nil {
+			j.Cancel()
+			return // the connection is gone; nothing to write
+		}
+		if err != nil {
+			writeJSON(w, http.StatusConflict, viewOf(j))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":   j.ID,
+			"rows": jobs.EncodeRows(out),
+		})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(j))
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) *jobs.Job {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return nil
+	}
+	s.mu.Lock()
+	j := s.byID[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %d", id)
+		return nil
+	}
+	return j
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, viewOf(j))
+	}
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	out, _, err := j.Result()
+	switch {
+	case errors.Is(err, jobs.ErrNotFinished):
+		writeJSON(w, http.StatusAccepted, viewOf(j))
+	case err != nil:
+		writeJSON(w, http.StatusConflict, viewOf(j))
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":   j.ID,
+			"rows": jobs.EncodeRows(out),
+		})
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, viewOf(j))
+	}
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.byID))
+	for _, j := range s.byID {
+		v := viewOf(j)
+		v.Stats = nil // keep listings light; per-job status has the details
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Metrics())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blackboxflow/internal/jobs"
+)
+
+const wordcountDoc = `{
+  "name": "wordcount",
+  "script": "reduce count(g) { first := g.at(0) out := copy(first) out[1] = count(g, 0) emit out }",
+  "flow": {
+    "sources": [{"name": "words", "attrs": ["word", "n"]}],
+    "ops": [{"kind": "reduce", "udf": "count", "inputs": ["words"], "keys": [["word"]], "key_cardinality": 3}],
+    "sink": "count"
+  },
+  "data": {"words": [["a", null], ["b", null], ["a", null], ["c", null], ["a", null], ["b", null]]}
+}`
+
+func testServer(t *testing.T, cfg jobs.Config) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(jobs.New(cfg))
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	return resp, m
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestSubmitPollResult drives the happy path: submit, poll status until
+// terminal, fetch rows, check metrics.
+func TestSubmitPollResult(t *testing.T) {
+	_, ts := testServer(t, jobs.Config{MaxConcurrent: 2, DOP: 2})
+
+	resp, body := postJSON(t, ts.URL+"/jobs", wordcountDoc)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, body)
+	}
+	id := int64(body["id"].(float64))
+
+	deadline := time.Now().Add(10 * time.Second)
+	var status map[string]any
+	for {
+		if getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id), &status); status["state"] == "succeeded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %v", status["state"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if status["records"].(float64) != 3 {
+		t.Errorf("records = %v, want 3", status["records"])
+	}
+	if status["stats"] == nil {
+		t.Error("terminal status has no per-operator stats")
+	}
+
+	var result struct {
+		Rows [][]any `json:"rows"`
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/jobs/%d/result", ts.URL, id), &result); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+	counts := map[string]float64{}
+	for _, row := range result.Rows {
+		counts[row[0].(string)] = row[1].(float64)
+	}
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+
+	var m jobs.Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Submitted != 1 || m.Succeeded != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+
+	var list []map[string]any
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list) != 1 || list[0]["state"] != "succeeded" {
+		t.Errorf("list = %v", list)
+	}
+}
+
+// TestSubmitErrors: malformed documents and unknown jobs get 4xx, not 500s.
+func TestSubmitErrors(t *testing.T) {
+	_, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+
+	resp, body := postJSON(t, ts.URL+"/jobs", `{"script": "map f(ir) { emit }", "flow": {"sources":[{"name":"s","attrs":["a"]}], "ops": [], "sink": "s"}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad script: status %d", resp.StatusCode)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "compile") {
+		t.Errorf("bad script error = %q", msg)
+	}
+
+	if resp := getJSON(t, ts.URL+"/jobs/999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/jobs/xyz", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: status %d", resp.StatusCode)
+	}
+}
+
+// slowDoc is a job big enough to still be running when the test acts on it.
+func slowDoc() string {
+	var rows []string
+	for i := 0; i < 40000; i++ {
+		rows = append(rows, fmt.Sprintf("[%d, %d]", i, i%7))
+	}
+	return `{
+  "name": "slow",
+  "script": "reduce tally(g) { first := g.at(0) out := copy(first) out[1] = sum(g, 1) emit out }",
+  "flow": {
+    "sources": [{"name": "in", "attrs": ["k", "v"]}],
+    "ops": [{"kind": "reduce", "udf": "tally", "inputs": ["in"], "keys": [["k"]], "key_cardinality": 40000}],
+    "sink": "tally"
+  },
+  "data": {"in": [` + strings.Join(rows, ",") + `]}
+}`
+}
+
+// TestCancelEndpoint cancels a running job over HTTP.
+func TestCancelEndpoint(t *testing.T) {
+	_, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+	resp, body := postJSON(t, ts.URL+"/jobs", slowDoc())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %v", resp.StatusCode, body)
+	}
+	id := int64(body["id"].(float64))
+
+	resp, _ = postJSON(t, fmt.Sprintf("%s/jobs/%d/cancel", ts.URL, id), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var status map[string]any
+		getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id), &status)
+		if status["state"] == "cancelled" {
+			break
+		}
+		if status["state"] == "succeeded" {
+			t.Skip("job finished before the cancel landed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %v after cancel", status["state"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/jobs/%d/result", ts.URL, id), nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of cancelled job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestSubmitWait: ?wait=1 returns the rows inline once the job finishes.
+func TestSubmitWait(t *testing.T) {
+	_, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+	resp, body := postJSON(t, ts.URL+"/jobs?wait=1", wordcountDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait submit status = %d: %v", resp.StatusCode, body)
+	}
+	rows, ok := body["rows"].([]any)
+	if !ok || len(rows) != 3 {
+		t.Fatalf("wait submit rows = %v", body["rows"])
+	}
+}
+
+// TestSubmitWaitDisconnectCancels: a client that submits with ?wait=1 and
+// drops the connection takes its job down with it — the budget grant must
+// not stay held by an abandoned job.
+func TestSubmitWaitDisconnectCancels(t *testing.T) {
+	srv, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+
+	ctx, cancelReq := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/jobs?wait=1",
+		strings.NewReader(slowDoc()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		done <- err
+	}()
+
+	// Wait for the job to register, then hang up.
+	deadline := time.Now().Add(10 * time.Second)
+	var job *jobs.Job
+	for job == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("job never registered")
+		}
+		srv.mu.Lock()
+		for _, j := range srv.byID {
+			job = j
+		}
+		srv.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	cancelReq()
+	if err := <-done; err == nil {
+		t.Fatal("request did not observe the disconnect")
+	}
+
+	for {
+		st := job.State()
+		if st == jobs.StateCancelled {
+			break
+		}
+		if st == jobs.StateSucceeded {
+			t.Skip("job finished before the disconnect landed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %v after client disconnect", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if m := srv.sched.Metrics(); m.GrantedBudget != 0 || m.Running != 0 {
+		t.Errorf("budget still held after disconnect: %+v", m)
+	}
+}
+
+// TestGracefulDrain: a draining server rejects new submissions but lets
+// accepted jobs finish.
+func TestGracefulDrain(t *testing.T) {
+	srv, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+	resp, body := postJSON(t, ts.URL+"/jobs", wordcountDoc)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	id := int64(body["id"].(float64))
+
+	srv.draining.Store(true)
+	if resp, _ := postJSON(t, ts.URL+"/jobs", wordcountDoc); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.sched.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	var status map[string]any
+	getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id), &status)
+	if status["state"] != "succeeded" {
+		t.Errorf("accepted job state after drain = %v, want succeeded", status["state"])
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,27 +45,25 @@ func (e *Engine) isCombinableReduce(p *optimizer.PhysPlan) bool {
 // per (group key, target) per flush window. The final aggregation then runs
 // the plan's local grouping strategy over the combined partitions, exactly
 // as the uncombined path would.
-func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
 	op := p.Op
 	keys := op.Keys[0]
 
 	chain, node := chainBelow(p.Inputs[0])
-	base, err := e.exec(node, stats)
+	base, err := e.exec(ctx, node, stats)
 	if err != nil {
 		return nil, err
 	}
 
 	shipStart := time.Now()
-	shuffled, spills, counts, bytes, err := e.combineShuffle(base, chain, op, keys)
+	shuffled, spills, counts, bytes, err := e.combineShuffle(ctx, base, chain, op, keys)
 	if err != nil {
 		return nil, err
 	}
 	defer closeSpills(spills)
 	if e.NetBandwidth > 0 && bytes > 0 {
 		want := time.Duration(float64(bytes) / e.NetBandwidth * float64(time.Second))
-		if elapsed := time.Since(shipStart); want > elapsed {
-			time.Sleep(want - elapsed)
-		}
+		netDelay(ctx, want-time.Since(shipStart))
 	}
 	shipElapsed := time.Since(shipStart)
 
@@ -75,9 +74,9 @@ func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Par
 		// Memory-budgeted run: receivers may have spilled sorted runs of
 		// already-combined records; the final aggregation merges them
 		// externally (same canonical group order as the in-memory path).
-		out, calls, err = e.localReduceSpilled(p, shuffled, spills)
+		out, calls, err = e.localReduceSpilled(ctx, p, shuffled, spills)
 	} else {
-		out, calls, err = e.local(p, []Partitioned{shuffled})
+		out, calls, err = e.local(ctx, p, []Partitioned{shuffled})
 	}
 	if err != nil {
 		return nil, err
@@ -129,7 +128,7 @@ func (e *Engine) execCombinedReduce(p *optimizer.PhysPlan, stats *RunStats) (Par
 // stream first, receivers spill only what still overflows, and every
 // spilled run consists of already partially aggregated records. The
 // returned spills slice is nil when no budget is set.
-func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int) (Partitioned, []*partitionSpill, []combineCounts, int, error) {
+func (e *Engine) combineShuffle(ctx context.Context, in Partitioned, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int) (Partitioned, []*partitionSpill, []combineCounts, int, error) {
 	dop := e.DOP
 	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
 	for i := range st.chans {
@@ -142,7 +141,7 @@ func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op 
 	errs := make([]error, len(in))
 	for si, part := range in {
 		counts[si].chain = make([]opCount, len(chain))
-		go e.combineSend(st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
+		go e.combineSend(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
 	}
 	// Combined partition sizes depend on the key distribution, unknowable
 	// here; start small and let append growth track the actual volume.
@@ -153,7 +152,7 @@ func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op 
 		budget := e.MemoryBudget / dop
 		for i := range st.chans {
 			spills[i] = &partitionSpill{}
-			go e.spillCollect(st, out, spills[i], i, keys, budget)
+			go e.spillCollect(ctx, st, out, spills[i], i, keys, budget)
 		}
 	} else {
 		for i := range st.chans {
@@ -165,6 +164,10 @@ func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op 
 		close(c)
 	}
 	st.collectors.Wait()
+	if err := context.Cause(ctx); err != nil {
+		closeSpills(spills)
+		return nil, nil, nil, 0, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			closeSpills(spills)
@@ -186,7 +189,7 @@ func (e *Engine) combineShuffle(in Partitioned, chain []*optimizer.PhysPlan, op 
 // aggregates every batch (record.Batch.Combine with the Reduce's combiner)
 // before shipping it — so a full flush window leaves the sender as at most
 // one record per group key.
-func (e *Engine) combineSend(st *shuffleState, acc []*record.Batch, part []record.Record, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int, c *combineCounts, errOut *error) {
+func (e *Engine) combineSend(ctx context.Context, st *shuffleState, acc []*record.Batch, part []record.Record, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int, c *combineCounts, errOut *error) {
 	defer st.senders.Done()
 	dop := uint64(len(st.chans))
 	local := 0
@@ -220,14 +223,15 @@ func (e *Engine) combineSend(st *shuffleState, acc []*record.Batch, part []recor
 	}
 	fail := func(err error) {
 		*errOut = err
-		for t, b := range acc {
-			if b != nil {
-				record.PutBatch(b)
-				acc[t] = nil
-			}
-		}
+		dropBatches(acc)
 	}
+	var tick ticker
 	for _, r := range part {
+		if tick.due() && context.Cause(ctx) != nil {
+			fail(context.Cause(ctx))
+			st.bytes.Add(int64(local))
+			return
+		}
 		if err := e.chainEmit(chain, c.chain, 0, r, route); err != nil {
 			fail(err)
 			st.bytes.Add(int64(local))

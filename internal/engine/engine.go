@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,24 @@ import (
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/tac"
 )
+
+// cancelStride is how many records (or groups) a hot loop processes between
+// cooperative context checks. Checking per record would put a synchronized
+// load on every iteration of the engine's innermost loops; every 256th
+// record bounds cancellation latency to a few microseconds of work while
+// keeping the check invisible in profiles.
+const cancelStride = 256
+
+// ticker counts loop iterations so hot loops only consult the context every
+// cancelStride records. The zero value is ready to use; each goroutine owns
+// its own ticker (they are not safe for sharing).
+type ticker struct{ n int }
+
+// due reports whether the caller should check its context now.
+func (t *ticker) due() bool {
+	t.n++
+	return t.n%cancelStride == 0
+}
 
 // Partitioned is a data set split into DOP partitions.
 type Partitioned [][]record.Record
@@ -224,26 +243,41 @@ func (e *Engine) AddSource(name string, data record.DataSet) {
 // Run executes a physical plan and returns the sink's output and runtime
 // statistics.
 func (e *Engine) Run(plan *optimizer.PhysPlan) (record.DataSet, *RunStats, error) {
+	return e.RunContext(context.Background(), plan)
+}
+
+// RunContext is Run under a context: cancellation and deadlines propagate
+// cooperatively into the execution layer — shuffle senders stop routing,
+// spill collectors stop writing runs (spill files already on disk are
+// removed before the call returns), and the per-partition local loops bail
+// out — so a cancelled run returns promptly with ctx's error instead of
+// finishing the plan. A run that completes before the context is cancelled
+// returns its result normally. The engine may be reused after a cancelled
+// run; partial outputs are discarded.
+func (e *Engine) RunContext(ctx context.Context, plan *optimizer.PhysPlan) (record.DataSet, *RunStats, error) {
 	stats := &RunStats{}
-	out, err := e.exec(plan, stats)
+	out, err := e.exec(ctx, plan, stats)
 	if err != nil {
 		return nil, nil, err
 	}
 	return out.Flatten(), stats, nil
 }
 
-func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+func (e *Engine) exec(ctx context.Context, p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
 	// Chained Maps are fused into their producer's partition loop instead
 	// of materializing each intermediate stage.
 	if isChainable(p) {
-		return e.execChain(p, stats)
+		return e.execChain(ctx, p, stats)
 	}
 
 	// A combinable Reduce — together with any maximal chain of fused Maps
 	// feeding it — executes through the combining sender loop: Map →
 	// combine → ship in one pass, no intermediate partitions.
 	if e.isCombinableReduce(p) {
-		return e.execCombinedReduce(p, stats)
+		return e.execCombinedReduce(ctx, p, stats)
 	}
 
 	// A memory-budgeted shuffled grouping or join (Reduce, CoGroup, Match)
@@ -251,13 +285,13 @@ func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, erro
 	// per partition and overflow is sorted and spilled to disk (see
 	// spill_exec.go, join_spill.go).
 	if e.spillEligible(p) {
-		return e.execSpillGrouped(p, stats)
+		return e.execSpillGrouped(ctx, p, stats)
 	}
 
 	// Execute inputs first (post-order).
 	inputs := make([]Partitioned, len(p.Inputs))
 	for i, in := range p.Inputs {
-		d, err := e.exec(in, stats)
+		d, err := e.exec(ctx, in, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -280,20 +314,23 @@ func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, erro
 		if i < len(op.Keys) {
 			keys = op.Keys[i]
 		}
-		shipped, bytes := e.ship(inputs[i], p.Ship[i], keys)
+		shipped, bytes := e.ship(ctx, inputs[i], p.Ship[i], keys)
 		inputs[i] = shipped
 		st.ShippedBytes += bytes
 	}
+	// A cancelled shuffle returns partial partitions; discard them rather
+	// than let a truncated input masquerade as the operator's real input.
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
 	if e.NetBandwidth > 0 && st.ShippedBytes > 0 {
 		want := time.Duration(float64(st.ShippedBytes) / e.NetBandwidth * float64(time.Second))
-		if elapsed := time.Since(shipStart); want > elapsed {
-			time.Sleep(want - elapsed)
-		}
+		netDelay(ctx, want-time.Since(shipStart))
 	}
 	st.ShipTime = time.Since(shipStart)
 
 	localStart := time.Now()
-	out, calls, err := e.local(p, inputs)
+	out, calls, err := e.local(ctx, p, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -309,12 +346,12 @@ func (e *Engine) exec(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, erro
 // (simulated) network. Partitioning and broadcasting move records through
 // per-target channels with one sender goroutine per source partition,
 // mirroring a shuffle.
-func (e *Engine) ship(in Partitioned, s optimizer.Shipping, keys []int) (Partitioned, int) {
+func (e *Engine) ship(ctx context.Context, in Partitioned, s optimizer.Shipping, keys []int) (Partitioned, int) {
 	switch s {
 	case optimizer.ShipForward:
 		return in, 0
 	case optimizer.ShipPartition:
-		return e.Shuffle(in, keys)
+		return e.shuffleDispatch(ctx, in, keys)
 	case optimizer.ShipBroadcast:
 		// Every partition gets its own copy of the record headers (the
 		// records themselves are immutable by engine convention). Handing the
@@ -339,10 +376,16 @@ func (e *Engine) ship(in Partitioned, s optimizer.Shipping, keys []int) (Partiti
 // that crossed the (simulated) network. It is the primitive behind
 // ShipPartition, exposed so tests and benchmarks can drive it directly.
 func (e *Engine) Shuffle(in Partitioned, keys []int) (Partitioned, int) {
+	return e.shuffleDispatch(context.Background(), in, keys)
+}
+
+// shuffleDispatch routes a partition shuffle to the batched or the retained
+// legacy executor — the single place that branch lives.
+func (e *Engine) shuffleDispatch(ctx context.Context, in Partitioned, keys []int) (Partitioned, int) {
 	if e.LegacyShuffle {
 		return e.shuffleRecordAtATime(in, keys)
 	}
-	return e.shuffle(in, keys)
+	return e.shuffle(ctx, in, keys)
 }
 
 // shuffle hash-partitions records by the key fields using goroutines and
@@ -358,7 +401,7 @@ func (e *Engine) Shuffle(in Partitioned, keys []int) (Partitioned, int) {
 // arguments (not closures) and the channels are unbuffered, keeping the
 // fixed allocation cost of a shuffle to the channel objects and the output
 // partitions themselves.
-func (e *Engine) shuffle(in Partitioned, keys []int) (Partitioned, int) {
+func (e *Engine) shuffle(ctx context.Context, in Partitioned, keys []int) (Partitioned, int) {
 	dop := e.DOP
 	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
 	for i := range st.chans {
@@ -370,7 +413,7 @@ func (e *Engine) shuffle(in Partitioned, keys []int) (Partitioned, int) {
 	// per-target window acc[si*dop : (si+1)*dop].
 	acc := make([]*record.Batch, len(in)*dop)
 	for si, part := range in {
-		go shuffleSend(st, acc[si*dop:(si+1)*dop], part, keys)
+		go shuffleSend(ctx, st, acc[si*dop:(si+1)*dop], part, keys)
 	}
 	// Pre-size each output partition for a near-uniform key distribution;
 	// skewed keys just fall back to append growth.
@@ -397,12 +440,23 @@ type shuffleState struct {
 }
 
 // shuffleSend hash-routes one source partition's records into per-target
-// batches, flushing each batch over its target's channel when full.
-func shuffleSend(st *shuffleState, acc []*record.Batch, part []record.Record, keys []int) {
+// batches, flushing each batch over its target's channel when full. On
+// cancellation the sender stops routing and recycles its accumulated
+// batches; the collectors drain whatever was already in flight (they only
+// stop when the channels close), so cancellation can never deadlock the
+// unbuffered shuffle channels — the caller detects the cancelled context
+// and discards the partial output.
+func shuffleSend(ctx context.Context, st *shuffleState, acc []*record.Batch, part []record.Record, keys []int) {
 	defer st.senders.Done()
 	dop := uint64(len(st.chans))
 	local := 0
+	var tick ticker
 	for _, r := range part {
+		if tick.due() && ctx.Err() != nil {
+			dropBatches(acc)
+			st.bytes.Add(int64(local))
+			return
+		}
 		t := int(r.Hash(keys) % dop)
 		b := acc[t]
 		if b == nil {
@@ -425,6 +479,31 @@ func shuffleSend(st *shuffleState, acc []*record.Batch, part []record.Record, ke
 		}
 	}
 	st.bytes.Add(int64(local))
+}
+
+// dropBatches recycles a sender's unsent accumulator batches.
+func dropBatches(acc []*record.Batch) {
+	for t, b := range acc {
+		if b != nil {
+			record.PutBatch(b)
+			acc[t] = nil
+		}
+	}
+}
+
+// netDelay sleeps for d to simulate interconnect transfer time, returning
+// early when the context is cancelled so a throttled run still cancels
+// promptly.
+func netDelay(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // shuffleCollect drains one target partition's channel, appending batch
@@ -497,9 +576,9 @@ func (e *Engine) chainEmit(chain []*optimizer.PhysPlan, c []opCount, level int, 
 // chain of k Maps allocates no intermediate partitions. Per-operator
 // statistics are still collected: records in/out and UDF calls exactly, and
 // the fused loop's wall time attributed evenly across the chain's operators.
-func (e *Engine) execChain(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+func (e *Engine) execChain(ctx context.Context, p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
 	chain, node := chainBelow(p)
-	base, err := e.exec(node, stats)
+	base, err := e.exec(ctx, node, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +599,12 @@ func (e *Engine) execChain(p *optimizer.PhysPlan, stats *RunStats) (Partitioned,
 				out[i] = append(out[i], r)
 				return nil
 			}
+			var tick ticker
 			for _, r := range base[i] {
+				if tick.due() && context.Cause(ctx) != nil {
+					errs[i] = context.Cause(ctx)
+					return
+				}
 				if errs[i] = e.chainEmit(chain, c, 0, r, sink); errs[i] != nil {
 					return
 				}
@@ -548,7 +632,7 @@ func (e *Engine) execChain(p *optimizer.PhysPlan, stats *RunStats) (Partitioned,
 }
 
 // local runs the operator's local strategy on every partition in parallel.
-func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned, int, error) {
+func (e *Engine) local(ctx context.Context, p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned, int, error) {
 	op := p.Op
 	switch op.Kind {
 	case dataflow.KindSource:
@@ -565,7 +649,11 @@ func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned
 		return e.perPartition(inputs[0], func(part []record.Record) ([]record.Record, int, error) {
 			var out []record.Record
 			calls := 0
+			var tick ticker
 			for _, r := range part {
+				if tick.due() && context.Cause(ctx) != nil {
+					return nil, 0, context.Cause(ctx)
+				}
 				res, err := e.interp.InvokeMap(op.UDF, r)
 				if err != nil {
 					return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
@@ -579,20 +667,24 @@ func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned
 	case dataflow.KindReduce:
 		keys := op.Keys[0]
 		return e.perPartition(inputs[0], func(part []record.Record) ([]record.Record, int, error) {
-			return e.reducePartition(op, part, keys, p.Local == optimizer.LocalSortGroup)
+			return e.reducePartition(ctx, op, part, keys, p.Local == optimizer.LocalSortGroup)
 		})
 
 	case dataflow.KindMatch:
 		return e.perPartition2(inputs[0], inputs[1], func(l, r []record.Record) ([]record.Record, int, error) {
-			return e.joinPartition(p, l, r)
+			return e.joinPartition(ctx, p, l, r)
 		})
 
 	case dataflow.KindCross:
 		return e.perPartition2(inputs[0], inputs[1], func(l, r []record.Record) ([]record.Record, int, error) {
 			var out []record.Record
 			calls := 0
+			var tick ticker
 			for _, lr := range l {
 				for _, rr := range r {
+					if tick.due() && context.Cause(ctx) != nil {
+						return nil, 0, context.Cause(ctx)
+					}
 					res, err := e.interp.InvokeBinary(op.UDF, lr, rr)
 					if err != nil {
 						return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
@@ -607,7 +699,7 @@ func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned
 	case dataflow.KindCoGroup:
 		lKeys, rKeys := op.Keys[0], op.Keys[1]
 		return e.perPartition2(inputs[0], inputs[1], func(l, r []record.Record) ([]record.Record, int, error) {
-			return e.coGroupPartition(op, l, r, lKeys, rKeys)
+			return e.coGroupPartition(ctx, op, l, r, lKeys, rKeys)
 		})
 
 	default:
@@ -619,11 +711,15 @@ func (e *Engine) local(p *optimizer.PhysPlan, inputs []Partitioned) (Partitioned
 // key order; see groupRecords) and applies the Reduce UDF once per group —
 // the in-memory grouping core shared by the plain local strategy and the
 // spill path's non-overflowing partitions.
-func (e *Engine) reducePartition(op *dataflow.Operator, part []record.Record, keys []int, sortBased bool) ([]record.Record, int, error) {
+func (e *Engine) reducePartition(ctx context.Context, op *dataflow.Operator, part []record.Record, keys []int, sortBased bool) ([]record.Record, int, error) {
 	groups := groupRecords(part, keys, sortBased)
 	var out []record.Record
 	calls := 0
+	var tick ticker
 	for _, g := range groups {
+		if tick.due() && context.Cause(ctx) != nil {
+			return nil, 0, context.Cause(ctx)
+		}
 		res, err := e.interp.InvokeReduce(op.UDF, g)
 		if err != nil {
 			return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)
@@ -708,7 +804,7 @@ func (e *Engine) perPartition2(l, r Partitioned, fn func(l, r []record.Record) (
 // headers, and broadcast hands every partition its own slice), so no
 // defensive copy is needed. If subplan results are ever cached and shared
 // across consumers, forwarded inputs must be copied here again.
-func (e *Engine) joinPartition(p *optimizer.PhysPlan, l, r []record.Record) ([]record.Record, int, error) {
+func (e *Engine) joinPartition(ctx context.Context, p *optimizer.PhysPlan, l, r []record.Record) ([]record.Record, int, error) {
 	op := p.Op
 	lKeys, rKeys := op.Keys[0], op.Keys[1]
 	var lc, rc groupCursor
@@ -721,7 +817,7 @@ func (e *Engine) joinPartition(p *optimizer.PhysPlan, l, r []record.Record) ([]r
 		lc = &memGroupCursor{groups: groupRecords(l, lKeys, false)}
 		rc = &memGroupCursor{groups: groupRecords(r, rKeys, false)}
 	}
-	return e.matchAligned(op, lc, rc, lKeys, rKeys)
+	return e.matchAligned(ctx, op, lc, rc, lKeys, rKeys)
 }
 
 // coGroupPartition executes a CoGroup on one partition pair: both sides are
@@ -729,10 +825,10 @@ func (e *Engine) joinPartition(p *optimizer.PhysPlan, l, r []record.Record) ([]r
 // key domain, in ascending key order. It is the in-memory instance of the
 // stream alignment that coGroupAligned implements; the spill path feeds the
 // same alignment from externally merged runs.
-func (e *Engine) coGroupPartition(op *dataflow.Operator, l, r []record.Record, lKeys, rKeys []int) ([]record.Record, int, error) {
+func (e *Engine) coGroupPartition(ctx context.Context, op *dataflow.Operator, l, r []record.Record, lKeys, rKeys []int) ([]record.Record, int, error) {
 	lc := &memGroupCursor{groups: groupRecords(l, lKeys, true)}
 	rc := &memGroupCursor{groups: groupRecords(r, rKeys, true)}
-	return e.coGroupAligned(op, lc, rc, lKeys, rKeys)
+	return e.coGroupAligned(ctx, op, lc, rc, lKeys, rKeys)
 }
 
 // groupRecords groups a partition by key fields, either by sorting (one

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"blackboxflow/internal/dataflow"
@@ -47,7 +48,7 @@ func (c *sortedGroupCursor) next() ([]record.Record, error) {
 // Match (joinPartition) and the spilled one (alignedSpilled). Keys present
 // on only one side are skipped without a UDF call, which is what separates
 // a Match from the CoGroup alignment in coGroupAligned.
-func (e *Engine) matchAligned(op *dataflow.Operator, l, r groupCursor, lKeys, rKeys []int) ([]record.Record, int, error) {
+func (e *Engine) matchAligned(ctx context.Context, op *dataflow.Operator, l, r groupCursor, lKeys, rKeys []int) ([]record.Record, int, error) {
 	var out []record.Record
 	calls := 0
 	lg, err := l.next()
@@ -58,7 +59,11 @@ func (e *Engine) matchAligned(op *dataflow.Operator, l, r groupCursor, lKeys, rK
 	if err != nil {
 		return nil, 0, err
 	}
+	var tick ticker
 	for lg != nil && rg != nil {
+		if tick.due() && context.Cause(ctx) != nil {
+			return nil, 0, context.Cause(ctx)
+		}
 		switch c := compareKeyPair(lg[0], lKeys, rg[0], rKeys); {
 		case c < 0:
 			if lg, err = l.next(); err != nil {
@@ -71,6 +76,9 @@ func (e *Engine) matchAligned(op *dataflow.Operator, l, r groupCursor, lKeys, rK
 		default:
 			for _, lr := range lg {
 				for _, rr := range rg {
+					if tick.due() && context.Cause(ctx) != nil {
+						return nil, 0, context.Cause(ctx)
+					}
 					res, err := e.interp.InvokeBinary(op.UDF, lr, rr)
 					if err != nil {
 						return nil, 0, fmt.Errorf("engine: %s: %w", op.Name, err)

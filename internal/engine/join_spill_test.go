@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -184,7 +185,7 @@ func TestBroadcastShipNoAliasing(t *testing.T) {
 	var in Partitioned = Partitioned{{
 		{record.Int(3)}, {record.Int(1)}, {record.Int(2)},
 	}}
-	out, bytes := e.ship(in, optimizer.ShipBroadcast, nil)
+	out, bytes := e.ship(context.Background(), in, optimizer.ShipBroadcast, nil)
 	if len(out) != 3 {
 		t.Fatalf("broadcast produced %d partitions, want 3", len(out))
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -132,7 +133,7 @@ func TestShuffleAllocRegression(t *testing.T) {
 	}
 
 	batched := testing.AllocsPerRun(5, func() {
-		e.shuffle(in, keys)
+		e.shuffle(context.Background(), in, keys)
 	})
 	legacy := testing.AllocsPerRun(5, func() {
 		e.shuffleRecordAtATime(in, keys)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -93,11 +94,11 @@ func (e *Engine) spillEligible(p *optimizer.PhysPlan) bool {
 // the operator's DOP partitions (and across both inputs for a CoGroup or
 // Match shuffling both sides); spillCollect floors each share at one
 // batch's worth.
-func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
+func (e *Engine) execSpillGrouped(ctx context.Context, p *optimizer.PhysPlan, stats *RunStats) (Partitioned, error) {
 	op := p.Op
 	inputs := make([]Partitioned, len(p.Inputs))
 	for i, in := range p.Inputs {
-		d, err := e.exec(in, stats)
+		d, err := e.exec(ctx, in, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +134,7 @@ func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Parti
 		if i < len(op.Keys) {
 			keys = op.Keys[i]
 		}
-		resident, sps, bytes, err := e.spillShuffle(inputs[i], keys, budget)
+		resident, sps, bytes, err := e.spillShuffle(ctx, inputs[i], keys, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -143,9 +144,7 @@ func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Parti
 	}
 	if e.NetBandwidth > 0 && st.ShippedBytes > 0 {
 		want := time.Duration(float64(st.ShippedBytes) / e.NetBandwidth * float64(time.Second))
-		if elapsed := time.Since(shipStart); want > elapsed {
-			time.Sleep(want - elapsed)
-		}
+		netDelay(ctx, want-time.Since(shipStart))
 	}
 	st.ShipTime = time.Since(shipStart)
 	for _, sps := range spills {
@@ -163,11 +162,11 @@ func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Parti
 	var err error
 	switch op.Kind {
 	case dataflow.KindReduce:
-		out, calls, err = e.localReduceSpilled(p, inputs[0], spills[0])
+		out, calls, err = e.localReduceSpilled(ctx, p, inputs[0], spills[0])
 	case dataflow.KindCoGroup:
-		out, calls, err = e.alignedSpilled(op, inputs[0], inputs[1], spills[0], spills[1], e.coGroupAligned)
+		out, calls, err = e.alignedSpilled(ctx, op, inputs[0], inputs[1], spills[0], spills[1], e.coGroupAligned)
 	case dataflow.KindMatch:
-		out, calls, err = e.alignedSpilled(op, inputs[0], inputs[1], spills[0], spills[1], e.matchAligned)
+		out, calls, err = e.alignedSpilled(ctx, op, inputs[0], inputs[1], spills[0], spills[1], e.matchAligned)
 	default:
 		err = fmt.Errorf("engine: %s is not a spillable grouping operator", op.Kind)
 	}
@@ -187,7 +186,7 @@ func (e *Engine) execSpillGrouped(p *optimizer.PhysPlan, stats *RunStats) (Parti
 // buffer as a run on overflow. It returns the resident remainders, the
 // per-partition spill state (callers own the files until closeSpills), and
 // the shipped bytes.
-func (e *Engine) spillShuffle(in Partitioned, keys []int, budget int) (Partitioned, []*partitionSpill, int, error) {
+func (e *Engine) spillShuffle(ctx context.Context, in Partitioned, keys []int, budget int) (Partitioned, []*partitionSpill, int, error) {
 	dop := e.DOP
 	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
 	for i := range st.chans {
@@ -197,19 +196,25 @@ func (e *Engine) spillShuffle(in Partitioned, keys []int, budget int) (Partition
 	st.collectors.Add(dop)
 	acc := make([]*record.Batch, len(in)*dop)
 	for si, part := range in {
-		go shuffleSend(st, acc[si*dop:(si+1)*dop], part, keys)
+		go shuffleSend(ctx, st, acc[si*dop:(si+1)*dop], part, keys)
 	}
 	out := make(Partitioned, dop)
 	spills := make([]*partitionSpill, dop)
 	for i := range st.chans {
 		spills[i] = &partitionSpill{}
-		go e.spillCollect(st, out, spills[i], i, keys, budget)
+		go e.spillCollect(ctx, st, out, spills[i], i, keys, budget)
 	}
 	st.senders.Wait()
 	for _, c := range st.chans {
 		close(c)
 	}
 	st.collectors.Wait()
+	// A cancelled run must not hand half-shuffled partitions (or half-written
+	// runs) to the local strategy: close and unlink every spill file now.
+	if err := context.Cause(ctx); err != nil {
+		closeSpills(spills)
+		return nil, nil, 0, err
+	}
 	for _, sp := range spills {
 		if sp.err != nil {
 			closeSpills(spills)
@@ -238,12 +243,19 @@ func (e *Engine) spillShuffle(in Partitioned, keys []int, budget int) (Partition
 // drained records — the run is doomed and buffering its remainder would
 // grow residency without bound in exactly the memory-constrained setting
 // spilling exists for; the error surfaces from spillShuffle.
-func (e *Engine) spillCollect(st *shuffleState, out Partitioned, sp *partitionSpill, i int, keys []int, budget int) {
+func (e *Engine) spillCollect(ctx context.Context, st *shuffleState, out Partitioned, sp *partitionSpill, i int, keys []int, budget int) {
 	defer st.collectors.Done()
 	var buf []record.Record
 	resident := 0
 	maxBatch := 0
 	for b := range st.chans[i] {
+		// Cancellation is treated like a disk error: keep draining (senders
+		// must never block) but stop buffering and stop writing runs. The
+		// caller sees the cancelled context and unlinks the partial files.
+		// One check per ~1k-record batch is cheap.
+		if sp.err == nil {
+			sp.err = context.Cause(ctx)
+		}
 		if sp.err != nil {
 			record.PutBatch(b)
 			continue
@@ -282,7 +294,7 @@ func (e *Engine) spillCollect(st *shuffleState, out Partitioned, sp *partitionSp
 // the plan's strategy; overflowed partitions group by external sort-merge
 // over their runs plus the sorted resident remainder. Both orders are
 // canonical (ascending key), so the choice is invisible in the output.
-func (e *Engine) localReduceSpilled(p *optimizer.PhysPlan, in Partitioned, spills []*partitionSpill) (Partitioned, int, error) {
+func (e *Engine) localReduceSpilled(ctx context.Context, p *optimizer.PhysPlan, in Partitioned, spills []*partitionSpill) (Partitioned, int, error) {
 	op := p.Op
 	keys := op.Keys[0]
 	return e.perPartitionIdx(in, func(i int, part []record.Record) ([]record.Record, int, error) {
@@ -291,9 +303,9 @@ func (e *Engine) localReduceSpilled(p *optimizer.PhysPlan, in Partitioned, spill
 			sp = spills[i]
 		}
 		if sp == nil || len(sp.runs) == 0 {
-			return e.reducePartition(op, part, keys, p.Local == optimizer.LocalSortGroup)
+			return e.reducePartition(ctx, op, part, keys, p.Local == optimizer.LocalSortGroup)
 		}
-		return e.reduceMerged(op, part, sp, keys)
+		return e.reduceMerged(ctx, op, part, sp, keys)
 	})
 }
 
@@ -302,7 +314,7 @@ func (e *Engine) localReduceSpilled(p *optimizer.PhysPlan, in Partitioned, spill
 // order — oldest run first, remainder last — together with the merger's
 // index tie-break reproduces arrival order within each key group, matching
 // what a fully resident stable grouping would have seen.
-func (e *Engine) reduceMerged(op *dataflow.Operator, resident []record.Record, sp *partitionSpill, keys []int) ([]record.Record, int, error) {
+func (e *Engine) reduceMerged(ctx context.Context, op *dataflow.Operator, resident []record.Record, sp *partitionSpill, keys []int) ([]record.Record, int, error) {
 	cursors := make([]spill.Cursor, 0, len(sp.runs)+1)
 	for _, run := range sp.runs {
 		cursors = append(cursors, sp.file.OpenRun(run))
@@ -330,7 +342,11 @@ func (e *Engine) reduceMerged(op *dataflow.Operator, resident []record.Record, s
 		group = nil
 		return nil
 	}
+	var tick ticker
 	for {
+		if tick.due() && context.Cause(ctx) != nil {
+			return nil, 0, context.Cause(ctx)
+		}
 		rec, ok, err := m.Next()
 		if err != nil {
 			return nil, 0, err
@@ -451,7 +467,7 @@ func compareKeyPair(l record.Record, lKeys []int, r record.Record, rKeys []int) 
 // coGroupAligned merges two sorted group streams and calls the CoGroup UDF
 // once per key in the combined key domain, ascending — the shared core of
 // the in-memory and spilled CoGroup paths.
-func (e *Engine) coGroupAligned(op *dataflow.Operator, l, r groupCursor, lKeys, rKeys []int) ([]record.Record, int, error) {
+func (e *Engine) coGroupAligned(ctx context.Context, op *dataflow.Operator, l, r groupCursor, lKeys, rKeys []int) ([]record.Record, int, error) {
 	var out []record.Record
 	calls := 0
 	emit := func(lg, rg []record.Record) error {
@@ -471,7 +487,11 @@ func (e *Engine) coGroupAligned(op *dataflow.Operator, l, r groupCursor, lKeys, 
 	if err != nil {
 		return nil, 0, err
 	}
+	var tick ticker
 	for lg != nil || rg != nil {
+		if tick.due() && context.Cause(ctx) != nil {
+			return nil, 0, context.Cause(ctx)
+		}
 		var c int
 		switch {
 		case rg == nil:
@@ -515,8 +535,8 @@ func (e *Engine) coGroupAligned(op *dataflow.Operator, l, r groupCursor, lKeys, 
 // pair concurrently, feeding the aligner — coGroupAligned for CoGroup,
 // matchAligned for Match — from external merges for sides that overflowed
 // and from in-memory sorted groups for sides that did not.
-func (e *Engine) alignedSpilled(op *dataflow.Operator, l, r Partitioned, lSpills, rSpills []*partitionSpill,
-	align func(op *dataflow.Operator, lc, rc groupCursor, lKeys, rKeys []int) ([]record.Record, int, error),
+func (e *Engine) alignedSpilled(ctx context.Context, op *dataflow.Operator, l, r Partitioned, lSpills, rSpills []*partitionSpill,
+	align func(ctx context.Context, op *dataflow.Operator, lc, rc groupCursor, lKeys, rKeys []int) ([]record.Record, int, error),
 ) (Partitioned, int, error) {
 	n := len(l)
 	if len(r) > n {
@@ -546,7 +566,7 @@ func (e *Engine) alignedSpilled(op *dataflow.Operator, l, r Partitioned, lSpills
 		if err != nil {
 			return nil, 0, err
 		}
-		return align(op, lc, rc, op.Keys[0], op.Keys[1])
+		return align(ctx, op, lc, rc, op.Keys[0], op.Keys[1])
 	})
 }
 

@@ -6,13 +6,28 @@ import (
 )
 
 // codegen lowers one FuncDecl to textual three-address code, which is then
-// parsed (and validated) by package tac.
+// parsed (and validated) by package tac. It mirrors the TAC validator's
+// flow-insensitive variable-kind rules (scalar vs record vs group) so type
+// misuse is diagnosed here with source lines — anything that slips through
+// and fails tac's validation is by construction a compiler bug, which
+// Compile reports as an internal error.
 type codegen struct {
 	lines   []string
 	pending []string // labels waiting to attach to the next instruction
 	tmpN    int
 	labN    int
 	params  map[string]bool
+	kinds   map[string]string // variable -> scalar | record | group
+}
+
+// setKind records a variable's kind, rejecting conflicting uses exactly
+// like tac.Validate's shallow kind check.
+func (g *codegen) setKind(name, kind string, line int) error {
+	if prev, ok := g.kinds[name]; ok && prev != kind {
+		return fmt.Errorf("line %d: variable %q used both as %s and %s", line, name, prev, kind)
+	}
+	g.kinds[name] = kind
+	return nil
 }
 
 func (g *codegen) tmp() string {
@@ -59,9 +74,17 @@ func compileFunc(fn *FuncDecl) (string, error) {
 			fn.Line, fn.Kind, fn.Name, wantParams, len(fn.Params))
 	}
 
-	g := &codegen{params: map[string]bool{}}
+	g := &codegen{params: map[string]bool{}, kinds: map[string]string{}}
+	paramKind := "record"
+	if kind == "reduce" || kind == "cogroup" {
+		paramKind = "group"
+	}
 	for _, p := range fn.Params {
+		if g.params[p] {
+			return "", fmt.Errorf("line %d: duplicate parameter %q", fn.Line, p)
+		}
 		g.params[p] = true
+		g.kinds[p] = paramKind
 	}
 	if err := g.stmts(fn.Body); err != nil {
 		return "", fmt.Errorf("func %s: %w", fn.Name, err)
@@ -96,6 +119,12 @@ func (g *codegen) stmt(s Stmt) error {
 	case *AssignStmt:
 		return g.assign(st)
 	case *SetFieldStmt:
+		if g.params[st.Rec] {
+			return fmt.Errorf("line %d: cannot modify input parameter %q (inputs are immutable; write into a copy)", st.Line, st.Rec)
+		}
+		if err := g.setKind(st.Rec, "record", st.Line); err != nil {
+			return err
+		}
 		if st.Expr == nil {
 			g.emit("setfield $%s %d null", st.Rec, st.Index)
 			return nil
@@ -107,6 +136,9 @@ func (g *codegen) stmt(s Stmt) error {
 		g.emit("setfield $%s %d %s", st.Rec, st.Index, op)
 		return nil
 	case *EmitStmt:
+		if err := g.setKind(st.Rec, "record", st.Line); err != nil {
+			return err
+		}
 		g.emit("emit $%s", st.Rec)
 		return nil
 	case *ReturnStmt:
@@ -172,6 +204,9 @@ func (g *codegen) assign(st *AssignStmt) error {
 			if err != nil {
 				return err
 			}
+			if err := g.setKind(st.Name, "record", st.Line); err != nil {
+				return err
+			}
 			g.emit("%s := copyrec %s", dst, rec)
 			return nil
 		case "concat":
@@ -186,17 +221,32 @@ func (g *codegen) assign(st *AssignStmt) error {
 			if err != nil {
 				return err
 			}
+			if err := g.setKind(st.Name, "record", st.Line); err != nil {
+				return err
+			}
 			g.emit("%s := concat %s %s", dst, a, b)
 			return nil
 		case "new":
 			if len(call.Args) != 0 {
 				return fmt.Errorf("line %d: new() takes no arguments", call.Line)
 			}
+			if err := g.setKind(st.Name, "record", st.Line); err != nil {
+				return err
+			}
 			g.emit("%s := newrec", dst)
 			return nil
 		case "at":
+			if len(call.Args) != 1 {
+				return fmt.Errorf("line %d: at() takes one index", call.Line)
+			}
+			if err := g.groupRecv(call); err != nil {
+				return err
+			}
 			idx, err := g.expr(call.Args[0])
 			if err != nil {
+				return err
+			}
+			if err := g.setKind(st.Name, "record", st.Line); err != nil {
 				return err
 			}
 			g.emit("%s := groupget $%s %s", dst, call.Recv, idx)
@@ -204,7 +254,20 @@ func (g *codegen) assign(st *AssignStmt) error {
 		}
 	}
 	// Scalar expression: lower directly into the destination.
+	if err := g.setKind(st.Name, "scalar", st.Line); err != nil {
+		return err
+	}
 	return g.exprInto(dst, st.Expr)
+}
+
+// groupRecv checks that a group method's receiver is a group-kind function
+// parameter (a reduce or cogroup input) — the only values of group type.
+// Anything else would lower to TAC the validator rejects.
+func (g *codegen) groupRecv(call *CallExpr) error {
+	if !g.params[call.Recv] || g.kinds[call.Recv] != "group" {
+		return fmt.Errorf("line %d: %s() receiver %q is not a group parameter", call.Line, call.Fn, call.Recv)
+	}
+	return nil
 }
 
 // recordArg resolves an expression that must denote a record variable.
@@ -212,6 +275,9 @@ func (g *codegen) recordArg(e Expr, line int) (string, error) {
 	id, ok := e.(*Ident)
 	if !ok {
 		return "", fmt.Errorf("line %d: record argument must be a variable", line)
+	}
+	if err := g.setKind(id.Name, "record", line); err != nil {
+		return "", err
 	}
 	return "$" + id.Name, nil
 }
@@ -273,6 +339,9 @@ func (g *codegen) expr(e Expr) (string, error) {
 // anything else a dynamic access (which static analysis treats
 // conservatively — exactly the paper's compile-time-knowledge boundary).
 func (g *codegen) getField(dst string, x *FieldExpr) error {
+	if err := g.setKind(x.Rec, "record", x.Line); err != nil {
+		return err
+	}
 	if lit, ok := x.Index.(*Lit); ok && isIntLit(lit.Text) {
 		g.emit("%s := getfield $%s %s", dst, x.Rec, lit.Text)
 		return nil
@@ -334,8 +403,8 @@ func (g *codegen) callInto(dst string, call *CallExpr) error {
 			return fmt.Errorf("line %d: %s(group, field) takes two arguments", call.Line, call.Fn)
 		}
 		grp, ok := call.Args[0].(*Ident)
-		if !ok {
-			return fmt.Errorf("line %d: %s() group must be a parameter", call.Line, call.Fn)
+		if !ok || !g.params[grp.Name] || g.kinds[grp.Name] != "group" {
+			return fmt.Errorf("line %d: %s() group must be a group parameter", call.Line, call.Fn)
 		}
 		lit, ok := call.Args[1].(*Lit)
 		if !ok || !isIntLit(lit.Text) {
@@ -344,9 +413,21 @@ func (g *codegen) callInto(dst string, call *CallExpr) error {
 		g.emit("%s := agg %s $%s %s", dst, call.Fn, grp.Name, lit.Text)
 		return nil
 	case "size":
+		if len(call.Args) != 0 {
+			return fmt.Errorf("line %d: size() takes no arguments", call.Line)
+		}
+		if err := g.groupRecv(call); err != nil {
+			return err
+		}
 		g.emit("%s := groupsize $%s", dst, call.Recv)
 		return nil
 	case "at":
+		if len(call.Args) != 1 {
+			return fmt.Errorf("line %d: at() takes one index", call.Line)
+		}
+		if err := g.groupRecv(call); err != nil {
+			return err
+		}
 		idx, err := g.expr(call.Args[0])
 		if err != nil {
 			return err

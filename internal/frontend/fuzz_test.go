@@ -1,0 +1,64 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"blackboxflow/internal/tac"
+)
+
+// FuzzCompile feeds arbitrary source through the whole PactScript pipeline
+// — lexer, parser, code generator, and the TAC parse of the generated text.
+// The invariants: no panic anywhere, and whatever compiles must yield a
+// non-empty validated program (the generated TAC parses, since Compile
+// already treats a TAC parse failure of its own output as an internal
+// error).
+//
+// Run the stored corpus as part of `go test`; explore with
+// `go test -fuzz=FuzzCompile ./internal/frontend`.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"map f(ir) { emit ir }",
+		"map f(ir) { b := ir[1] out := copy(ir) if b < 0 { out[1] = -b } emit out }",
+		"reduce g(grp) { first := grp.at(0) out := copy(first) out[2] = sum(grp, 1) emit out }",
+		"cogroup cg(l, r) { out := new() out[0] = l.size() + r.size() emit out }",
+		"binary j(l, r) { out := concat(l, r) emit out }",
+		"map w(ir) { i := 0 while i < 10 { i := i + 1 } emit ir }",
+		"map c(ir) { if ir[0] == 1 && ir[1] != 2 || !(ir[2] > 3) { emit ir } }",
+		`map s(ir) { if ir[0] contains "x" { emit ir } }`,
+		"map f(ir) { x := g.at() }",
+		"map f(ir) { x := copy( }",
+		"map f(ir) {",
+		"reduce f(g) { x := sum(g, 1e9) emit x }",
+		"map f(ir) { x := ir[0].size() }",
+		"# comment\nmap f(ir) { emit ir } trailing",
+		"map \x00(ir) { emit ir }",
+		`map f(ir) { x := "\\" emit ir }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			// An error must be diagnostic, never the internal-error marker
+			// for unparseable generated code: that would mean the compiler
+			// emitted TAC it cannot stand behind.
+			if strings.Contains(err.Error(), "internal error") {
+				t.Fatalf("compiler emitted invalid TAC for %q: %v", src, err)
+			}
+			return
+		}
+		if prog == nil || len(prog.Funcs) == 0 {
+			t.Fatalf("Compile(%q) returned an empty program without error", src)
+		}
+		// The textual TAC must round-trip through the TAC parser.
+		text, err := CompileToTAC(src)
+		if err != nil {
+			t.Fatalf("CompileToTAC failed after Compile succeeded: %v", err)
+		}
+		if _, err := tac.Parse(text); err != nil {
+			t.Fatalf("generated TAC does not reparse: %v\n%s", err, text)
+		}
+	})
+}

@@ -30,6 +30,7 @@ package frontend
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -97,7 +98,15 @@ func lex(src string) ([]token, error) {
 			if j >= len(src) {
 				return nil, fmt.Errorf("line %d: unterminated string literal", line)
 			}
-			toks = append(toks, token{tokString, src[i : j+1], line})
+			// String literals flow verbatim into the generated TAC, whose
+			// parser unquotes with Go syntax — so only Go-valid escapes may
+			// pass here, or the compiler would emit code it cannot stand
+			// behind.
+			lit := src[i : j+1]
+			if _, err := strconv.Unquote(lit); err != nil {
+				return nil, fmt.Errorf("line %d: bad string literal %s: %v", line, lit, err)
+			}
+			toks = append(toks, token{tokString, lit, line})
 			i = j + 1
 		case unicode.IsDigit(rune(c)):
 			j := i

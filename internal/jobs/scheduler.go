@@ -1,0 +1,563 @@
+// Package jobs is the concurrency layer above the single-plan engine: a
+// Scheduler accepts submitted flows, optimizes each against the memory
+// budget it was granted, and runs them on a pool of engines under admission
+// control — so many optimized dataflows share one machine without
+// oversubscribing its memory.
+//
+// Admission control is a FIFO queue over a global memory budget
+// (Config.GlobalBudget): every job asks for a budget grant (its requested
+// MemoryBudget, or an equal share of the global budget by default), and the
+// queue head is admitted only when the outstanding grants plus its own fit
+// under the global budget and an engine slot is free. The grant is not just
+// a gate — it flows into the optimizer's spill-cost model
+// (optimizer.RankAllBudget picks plans knowing how much memory the job will
+// actually have) and into the engine's spill receivers
+// (Engine.MemoryBudget), so an admitted job both plans for and is held to
+// its share. Queueing is strictly FIFO: a large job at the head blocks
+// smaller jobs behind it rather than being starved by them.
+//
+// Every job runs under its own context (Engine.RunContext) with an optional
+// deadline; cancelling a queued job evicts it from the queue, cancelling a
+// running job stops the engine cooperatively, and either way the job's
+// spill directory — each job gets a private one — is removed. Engines are
+// pooled and handed to one job at a time; between jobs an engine is reset
+// (sources dropped, budget and spill directory cleared), so no mutable
+// state is shared across jobs and per-job OpStats are collected into
+// per-run sinks. See DESIGN.md ("Job scheduling & admission control").
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/engine"
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/record"
+)
+
+// Sentinel errors of the scheduling layer.
+var (
+	// ErrClosed is returned by Submit after Close/Shutdown began.
+	ErrClosed = errors.New("jobs: scheduler is shut down")
+	// ErrQueueFull is returned by Submit when the pending queue is at
+	// Config.MaxQueue.
+	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrCancelled is the error of a job cancelled by Job.Cancel (as the
+	// run context's cancellation cause, it is also what a cancelled run
+	// returns from the engine).
+	ErrCancelled = errors.New("jobs: job cancelled")
+	// ErrNotFinished is returned by Job.Result while the job is still
+	// queued or running.
+	ErrNotFinished = errors.New("jobs: job not finished")
+)
+
+// Config parameterizes a Scheduler. The zero value of every field has a
+// workable default; a zero GlobalBudget disables memory governance (jobs
+// are gated by MaxConcurrent only and run unbudgeted unless their spec
+// requests a budget).
+type Config struct {
+	// GlobalBudget is the shared memory budget in bytes (the same resident
+	// wire-encoding unit as Engine.MemoryBudget) that all concurrently
+	// running jobs' grants must fit under.
+	GlobalBudget int
+	// MaxConcurrent is the engine-pool size: how many jobs may run at
+	// once. Defaults to 2.
+	MaxConcurrent int
+	// MaxQueue caps the pending queue; Submit returns ErrQueueFull beyond
+	// it. Defaults to 128. Negative means unbounded.
+	MaxQueue int
+	// DOP is the engines' default degree of parallelism (a Spec may
+	// override per job). Defaults to 4.
+	DOP int
+	// SpillDir is the parent directory for per-job spill directories;
+	// empty means the OS temp directory.
+	SpillDir string
+	// DefaultGrant is the budget granted to jobs that do not request one.
+	// Defaults to GlobalBudget/MaxConcurrent when a global budget is set
+	// (an equal share), else zero (unbudgeted).
+	DefaultGrant int
+	// JobTimeout bounds every job's run wall time unless its Spec sets a
+	// tighter Deadline. Zero means no default deadline.
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 128
+	}
+	if c.DOP <= 0 {
+		c.DOP = 4
+	}
+	if c.DefaultGrant <= 0 && c.GlobalBudget > 0 {
+		c.DefaultGrant = c.GlobalBudget / c.MaxConcurrent
+	}
+	return c
+}
+
+// Spec describes one job: a logical flow (with effects already derived —
+// ParseScriptJob does this for script submissions), its source data, and
+// per-job resource asks.
+type Spec struct {
+	// Name labels the job in listings and metrics; optional.
+	Name string
+	// Flow is the logical dataflow to optimize and run. Required.
+	Flow *dataflow.Flow
+	// Sources maps the flow's source operator names to their data.
+	Sources map[string]record.DataSet
+	// DOP overrides the scheduler's degree of parallelism for this job.
+	DOP int
+	// MemoryBudget is the requested budget grant in bytes; zero asks for
+	// the scheduler's default share. Requests above the global budget are
+	// clamped to it (the job then runs alone).
+	MemoryBudget int
+	// Deadline bounds the job's run wall time (measured from admission,
+	// not submission). Zero falls back to Config.JobTimeout.
+	Deadline time.Duration
+}
+
+// State is a job's lifecycle phase.
+type State uint8
+
+const (
+	// StateQueued: accepted, waiting for admission.
+	StateQueued State = iota
+	// StateRunning: admitted; optimizing or executing on an engine.
+	StateRunning
+	// StateSucceeded: finished with a result.
+	StateSucceeded
+	// StateFailed: finished with an error (including deadline expiry).
+	StateFailed
+	// StateCancelled: evicted from the queue or stopped mid-run by Cancel.
+	StateCancelled
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s >= StateSucceeded }
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateSucceeded:
+		return "succeeded"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Job is one submitted dataflow moving through the scheduler. All methods
+// are safe for concurrent use.
+type Job struct {
+	// ID is unique within the scheduler, in submission order.
+	ID int64
+
+	s    *Scheduler
+	spec Spec
+	// grant is the admission-controlled budget share, fixed at submission.
+	grant int
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	// Everything below is guarded by s.mu.
+	state     State
+	cancel    context.CancelCauseFunc // set at admission
+	output    record.DataSet
+	stats     *engine.RunStats
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Name returns the job's label from its spec.
+func (j *Job) Name() string { return j.spec.Name }
+
+// Grant returns the job's admission budget grant in bytes.
+func (j *Job) Grant() int { return j.grant }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's output, statistics, and error once it is
+// terminal; before that it returns ErrNotFinished.
+func (j *Job) Result() (record.DataSet, *engine.RunStats, error) {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil, ErrNotFinished
+	}
+	return j.output, j.stats, j.err
+}
+
+// Wait blocks until the job finishes (returning its result) or ctx is
+// cancelled (returning ctx's error; the job keeps running).
+func (j *Job) Wait(ctx context.Context) (record.DataSet, *engine.RunStats, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, nil, context.Cause(ctx)
+	}
+}
+
+// Cancel stops the job: a queued job is evicted from the queue without ever
+// running; a running job's context is cancelled and the engine winds down
+// cooperatively (its spill files are removed). Cancelling a terminal job is
+// a no-op. Cancel returns without waiting; use Wait to observe the wind-down.
+func (j *Job) Cancel() {
+	s := j.s
+	s.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.finish(ErrCancelled)
+		s.m.Cancelled++
+		s.dispatchLocked()
+		s.checkDrainedLocked()
+	case StateRunning:
+		j.cancel(ErrCancelled)
+	}
+	s.mu.Unlock()
+}
+
+// finish moves the job to its terminal state. Caller holds s.mu.
+func (j *Job) finish(err error) {
+	j.err = err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+	case errors.Is(err, ErrCancelled):
+		j.state = StateCancelled
+	default:
+		j.state = StateFailed
+	}
+	close(j.done)
+}
+
+// Metrics is a point-in-time snapshot of the scheduler's counters and
+// gauges.
+type Metrics struct {
+	// Counters since construction.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"` // queue-full or closed submissions
+	Admitted  int64 `json:"admitted"`
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"` // queue evictions and mid-run cancels
+
+	// Gauges.
+	Queued        int `json:"queued"`
+	Running       int `json:"running"`
+	GrantedBudget int `json:"granted_budget"`
+	GlobalBudget  int `json:"global_budget"`
+
+	// High-water marks.
+	PeakGrantedBudget int `json:"peak_granted_budget"`
+	PeakRunning       int `json:"peak_running"`
+	PeakQueued        int `json:"peak_queued"`
+
+	// TotalQueueWait sums admitted jobs' time from submission to
+	// admission; divide by Admitted for the mean.
+	TotalQueueWait time.Duration `json:"total_queue_wait_ns"`
+}
+
+// Scheduler runs submitted jobs on pooled engines under admission control.
+// See the package comment for the model.
+type Scheduler struct {
+	cfg  Config
+	pool chan *engine.Engine
+
+	mu       sync.Mutex
+	queue    []*Job
+	inFlight map[*Job]struct{}
+	granted  int
+	running  int
+	nextID   int64
+	closed   bool
+	drained  chan struct{} // lazily created by Shutdown waiters
+	m        Metrics
+}
+
+// New returns a Scheduler with cfg's admission parameters (zero fields take
+// the documented defaults).
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:      cfg,
+		pool:     make(chan *engine.Engine, cfg.MaxConcurrent),
+		inFlight: map[*Job]struct{}{},
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.pool <- engine.New(cfg.DOP)
+	}
+	return s
+}
+
+// Submit queues a job and returns its handle. The call never blocks on
+// admission: the job runs when it reaches the queue head and its grant fits
+// under the global budget. Submit fails fast with ErrQueueFull or ErrClosed.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	if spec.Flow == nil {
+		return nil, errors.New("jobs: spec has no flow")
+	}
+	grant := spec.MemoryBudget
+	if grant <= 0 {
+		grant = s.cfg.DefaultGrant
+	}
+	if s.cfg.GlobalBudget > 0 && grant > s.cfg.GlobalBudget {
+		grant = s.cfg.GlobalBudget
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.m.Rejected++
+		return nil, ErrClosed
+	}
+	if s.cfg.MaxQueue >= 0 && len(s.queue) >= s.cfg.MaxQueue {
+		s.m.Rejected++
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j := &Job{
+		ID:        s.nextID,
+		s:         s,
+		spec:      spec,
+		grant:     grant,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.queue = append(s.queue, j)
+	s.m.Submitted++
+	if len(s.queue) > s.m.PeakQueued {
+		s.m.PeakQueued = len(s.queue)
+	}
+	s.dispatchLocked()
+	return j, nil
+}
+
+// dispatchLocked admits queued jobs from the head while the next one fits:
+// a free engine slot and, under a global budget, enough unclaimed budget
+// for its grant. Strictly FIFO — if the head does not fit, nothing behind
+// it is considered. Caller holds s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if s.running >= s.cfg.MaxConcurrent {
+			return
+		}
+		if s.cfg.GlobalBudget > 0 && s.granted+head.grant > s.cfg.GlobalBudget {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.granted += head.grant
+		s.running++
+		s.inFlight[head] = struct{}{}
+		head.state = StateRunning
+		head.started = time.Now()
+		ctx, cancel := context.WithCancelCause(context.Background())
+		head.cancel = cancel
+		s.m.Admitted++
+		s.m.TotalQueueWait += head.started.Sub(head.submitted)
+		if s.granted > s.m.PeakGrantedBudget {
+			s.m.PeakGrantedBudget = s.granted
+		}
+		if s.running > s.m.PeakRunning {
+			s.m.PeakRunning = s.running
+		}
+		go s.runJob(ctx, cancel, head)
+	}
+}
+
+// runJob executes one admitted job on a pooled engine and finalizes it.
+func (s *Scheduler) runJob(ctx context.Context, cancel context.CancelCauseFunc, j *Job) {
+	defer cancel(nil)
+	deadline := j.spec.Deadline
+	if deadline <= 0 {
+		deadline = s.cfg.JobTimeout
+	}
+	if deadline > 0 {
+		var stop context.CancelFunc
+		ctx, stop = context.WithTimeout(ctx, deadline)
+		defer stop()
+	}
+	out, stats, err := s.execute(ctx, j)
+	s.finishJob(j, out, stats, err)
+}
+
+// execute optimizes the job's flow against its grant and runs it on a
+// pooled engine configured for this job only.
+func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engine.RunStats, error) {
+	dop := j.spec.DOP
+	if dop <= 0 {
+		dop = s.cfg.DOP
+	}
+
+	// Optimize under the granted budget: the spill-cost model sees exactly
+	// the memory the engine will enforce.
+	tree, err := optimizer.FromFlow(j.spec.Flow)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: optimize: %w", err)
+	}
+	ranked := optimizer.RankAllBudget(tree, optimizer.NewEstimator(j.spec.Flow), dop, float64(j.grant))
+	if len(ranked) == 0 {
+		return nil, nil, errors.New("jobs: optimizer produced no plan")
+	}
+	plan := ranked[0].Phys
+
+	// A private spill directory per job: even a crash-interrupted engine
+	// cannot interleave its temp files with another job's, and removal on
+	// the way out guarantees a cancelled or failed job leaves nothing
+	// behind.
+	spillDir, err := os.MkdirTemp(s.cfg.SpillDir, "flowjob-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: spill dir: %w", err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	// Check out an engine; configure it for this job alone, and return it
+	// reset so no sources, budget, or spill state leaks to the next job.
+	eng := <-s.pool
+	defer func() {
+		eng.Sources = map[string]record.DataSet{}
+		eng.MemoryBudget = 0
+		eng.SpillDir = ""
+		eng.DOP = s.cfg.DOP
+		s.pool <- eng
+	}()
+	eng.DOP = dop
+	eng.MemoryBudget = j.grant
+	eng.SpillDir = spillDir
+	eng.Sources = make(map[string]record.DataSet, len(j.spec.Sources))
+	for name, ds := range j.spec.Sources {
+		eng.Sources[name] = ds
+	}
+
+	return eng.RunContext(ctx, plan)
+}
+
+// finishJob releases the job's grant, records its terminal state, and
+// admits whatever now fits.
+func (s *Scheduler) finishJob(j *Job, out record.DataSet, stats *engine.RunStats, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.granted -= j.grant
+	s.running--
+	delete(s.inFlight, j)
+	j.output, j.stats = out, stats
+	j.finish(err)
+	switch j.state {
+	case StateSucceeded:
+		s.m.Succeeded++
+	case StateCancelled:
+		s.m.Cancelled++
+	default:
+		s.m.Failed++
+	}
+	s.dispatchLocked()
+	s.checkDrainedLocked()
+}
+
+// Metrics returns a snapshot of the scheduler's counters and gauges.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.m
+	m.Queued = len(s.queue)
+	m.Running = s.running
+	m.GrantedBudget = s.granted
+	m.GlobalBudget = s.cfg.GlobalBudget
+	return m
+}
+
+// Jobs returns the scheduler's non-terminal jobs: running first (in ID
+// order), then the queue in FIFO order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.inFlight)+len(s.queue))
+	for j := range s.inFlight {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return append(out, s.queue...)
+}
+
+// checkDrainedLocked wakes Shutdown waiters once the scheduler is closed
+// and idle. Caller holds s.mu.
+func (s *Scheduler) checkDrainedLocked() {
+	if s.closed && len(s.queue) == 0 && s.running == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+}
+
+// Shutdown gracefully drains the scheduler: new submissions fail with
+// ErrClosed, but everything already accepted — queued and running — is
+// allowed to finish. If ctx expires first, the remaining jobs are cancelled
+// and Shutdown still waits for them to wind down before returning ctx's
+// error.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if len(s.queue) == 0 && s.running == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	drained := s.drained
+	s.mu.Unlock()
+
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline passed: evict the queue and cancel in-flight runs, then
+	// wait for the engines to stop (cooperative cancellation is prompt).
+	s.mu.Lock()
+	queued := append([]*Job(nil), s.queue...)
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.Cancel()
+	}
+	s.mu.Lock()
+	for j := range s.inFlight {
+		j.cancel(ErrCancelled)
+	}
+	s.mu.Unlock()
+	<-drained
+	return context.Cause(ctx)
+}

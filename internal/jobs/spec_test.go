@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"blackboxflow/internal/record"
+)
+
+const wordcountDoc = `{
+  "name": "wordcount",
+  "script": "reduce count(g) { first := g.at(0) out := copy(first) out[1] = count(g, 0) emit out }",
+  "flow": {
+    "sources": [{"name": "words", "attrs": ["word", "n"]}],
+    "ops": [
+      {"kind": "reduce", "udf": "count", "inputs": ["words"], "keys": [["word"]], "key_cardinality": 3}
+    ],
+    "sink": "count"
+  },
+  "data": {
+    "words": [["a", null], ["b", null], ["a", null], ["c", null], ["a", null], ["b", null]]
+  }
+}`
+
+// TestParseScriptJobEndToEnd parses, submits, and runs a JSON job document.
+func TestParseScriptJobEndToEnd(t *testing.T) {
+	spec, err := ParseScriptJob([]byte(wordcountDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "wordcount" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	s := New(Config{MaxConcurrent: 1, DOP: 2})
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalUDFCalls() == 0 {
+		t.Error("no UDF calls recorded")
+	}
+	got := map[string]int64{}
+	for _, rec := range out {
+		got[rec.Field(0).AsString()] = rec.Field(1).AsInt()
+	}
+	want := map[string]int64{"a": 3, "b": 2, "c": 1}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d (full: %v)", w, got[w], n, got)
+		}
+	}
+}
+
+const joinDoc = `{
+  "script": "binary pair(l, r) { out := concat(l, r) emit out }",
+  "flow": {
+    "sources": [
+      {"name": "L", "attrs": ["lk", "lv"]},
+      {"name": "R", "attrs": ["rk", "rv"]}
+    ],
+    "ops": [
+      {"kind": "match", "udf": "pair", "inputs": ["L", "R"], "keys": [["lk"], ["rk"]], "key_cardinality": 2}
+    ],
+    "sink": "pair"
+  },
+  "data": {
+    "L": [[1, 10], [2, 20]],
+    "R": [[2, 200], [3, 300]]
+  }
+}`
+
+// TestParseScriptJobJoinRemap checks that per-source rows are remapped onto
+// the flow's global attribute space (R's fields land at indices 2,3 without
+// the submitter padding anything).
+func TestParseScriptJobJoinRemap(t *testing.T) {
+	spec, err := ParseScriptJob([]byte(joinDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rds := spec.Sources["R"]
+	if len(rds) != 2 {
+		t.Fatalf("R has %d records", len(rds))
+	}
+	if got := rds[0].Field(2).AsInt(); got != 2 {
+		t.Errorf("R row 0 global field 2 = %d, want 2", got)
+	}
+	if !rds[0].Field(0).IsNull() {
+		t.Error("R row 0 field 0 should be null padding")
+	}
+
+	s := New(Config{MaxConcurrent: 1, DOP: 2})
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("join emitted %d records, want 1: %v", len(out), out)
+	}
+	r := out[0]
+	if r.Field(0).AsInt() != 2 || r.Field(1).AsInt() != 20 || r.Field(2).AsInt() != 2 || r.Field(3).AsInt() != 200 {
+		t.Errorf("join output = %v", r)
+	}
+}
+
+// TestParseScriptJobErrors: malformed documents fail with diagnostics, not
+// panics.
+func TestParseScriptJobErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"bad json", `{`, "bad job document"},
+		{"unknown field", `{"script": "map f(ir) { emit ir }", "flowz": {}}`, "unknown field"},
+		{"no script", `{"script": "  ", "flow": {"sources": [], "ops": [], "sink": "x"}}`, "no script"},
+		{"script error", `{"script": "map f(ir) { emit }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [], "sink": "s"}}`, "compile script"},
+		{"no sources", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [], "ops": [], "sink": "f"}}`, "no sources"},
+		{"unknown udf", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"map","udf":"g","inputs":["s"]}], "sink": "g"}}`, `no UDF "g"`},
+		{"unknown kind", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"filter","udf":"f","inputs":["s"]}], "sink": "f"}}`, "unknown kind"},
+		{"bad input", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"map","udf":"f","inputs":["nope"]}], "sink": "f"}}`, "undefined input"},
+		{"arity", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"map","udf":"f","inputs":["s","s"]}], "sink": "f"}}`, "needs 1 input"},
+		{"missing keys", `{"script": "reduce f(g) { out := g.at(0) emit out }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"reduce","udf":"f","inputs":["s"]}], "sink": "f"}}`, "needs key attrs"},
+		{"undeclared key", `{"script": "reduce f(g) { out := g.at(0) emit out }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"reduce","udf":"f","inputs":["s"],"keys":[["zz"]]}], "sink": "f"}}`, "undeclared attribute"},
+		{"bad sink", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a"]}], "ops": [{"kind":"map","udf":"f","inputs":["s"]}], "sink": "nope"}}`, "sink"},
+		{"dup name", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a"]},{"name":"s","attrs":["b"]}], "ops": [], "sink": "s"}}`, "duplicate"},
+		{"row width", `{"script": "map f(ir) { emit ir }", "flow": {"sources": [{"name":"s","attrs":["a","b"]}], "ops": [{"kind":"map","udf":"f","inputs":["s"]}], "sink": "f"}, "data": {"s": [[1]]}}`, "has 1 fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScriptJob([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("no error for %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeEncodeRows: number typing and round-tripping.
+func TestDecodeEncodeRows(t *testing.T) {
+	spec, err := ParseScriptJob([]byte(`{
+	  "script": "map id(ir) { emit ir }",
+	  "flow": {"sources": [{"name":"s","attrs":["a","b","c","d","e"]}],
+	           "ops": [{"kind":"map","udf":"id","inputs":["s"]}], "sink": "id"},
+	  "data": {"s": [[1, 2.5, "x", true, null], [-9007199254740993, 1e3, "", false, null]]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := spec.Sources["s"]
+	if k := ds[0].Field(0).Kind(); k != record.KindInt {
+		t.Errorf("field 0 kind = %v, want int", k)
+	}
+	if k := ds[0].Field(1).Kind(); k != record.KindFloat {
+		t.Errorf("field 1 kind = %v, want float", k)
+	}
+	if k := ds[1].Field(1).Kind(); k != record.KindFloat {
+		t.Errorf("1e3 kind = %v, want float", k)
+	}
+	if got := ds[1].Field(0).AsInt(); got != -9007199254740993 {
+		t.Errorf("large int decoded as %d", got)
+	}
+
+	rows := EncodeRows(ds)
+	if rows[0][2] != "x" || rows[0][3] != true || rows[0][4] != nil {
+		t.Errorf("encoded row 0 = %v", rows[0])
+	}
+	if rows[0][0] != int64(1) {
+		t.Errorf("encoded int = %#v", rows[0][0])
+	}
+}
