@@ -246,8 +246,12 @@ type (
 	// JobState is a job's lifecycle phase (queued → running → terminal).
 	JobState = jobs.State
 	// JobMetrics is a snapshot of scheduler admission counters and gauges
-	// (queue depth, granted budget, peaks, queue-wait totals).
+	// (queue depth, granted budget, peaks, queue-wait totals, plan-cache
+	// hit rates, per-tenant usage).
 	JobMetrics = jobs.Metrics
+	// TenantMetrics is one tenant's slice of the scheduler's state
+	// (running/queued counts, granted budget, peaks).
+	TenantMetrics = jobs.TenantMetrics
 	// ScriptJob is the declarative JSON job document (PactScript UDFs +
 	// flow wiring + inline data) that cmd/flowserve accepts over HTTP.
 	ScriptJob = jobs.ScriptJob
@@ -270,6 +274,13 @@ var (
 	// ErrJobNotFinished is returned by Job.Result while the job is still
 	// queued or running.
 	ErrJobNotFinished = jobs.ErrNotFinished
+	// ErrTenantQuota is returned by Scheduler.Submit when the job's tenant
+	// is at its queued-jobs quota (SchedulerConfig.TenantMaxQueued).
+	ErrTenantQuota = jobs.ErrTenantQuota
+	// ErrBackpressure is returned by Scheduler.Submit when the summed
+	// optimizer cost estimates of queued jobs would exceed
+	// SchedulerConfig.MaxQueuedCost.
+	ErrBackpressure = jobs.ErrBackpressure
 )
 
 // NewScheduler returns a job scheduler with the given admission
@@ -279,7 +290,10 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler { return jobs.New(cfg) }
 
 // ParseJobDocument turns a JSON job document (ScriptJob: PactScript source,
 // flow wiring, inline data) into a Spec ready for Scheduler.Submit — the
-// same front door cmd/flowserve exposes over HTTP.
+// same front door cmd/flowserve exposes over HTTP. Prefer the
+// Scheduler.ParseScriptJob method when submitting to a scheduler: it
+// serves repeated documents from the scheduler's plan cache, skipping
+// compilation and (at execution) plan enumeration.
 func ParseJobDocument(raw []byte) (JobSpec, error) { return jobs.ParseScriptJob(raw) }
 
 // SamplingOptions configure DeriveHintsBySampling.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"blackboxflow"
 	"blackboxflow/internal/dataflow"
@@ -978,4 +979,186 @@ func binary jpair($l, $r) {
 			b.ReportMetric(float64(global), "global-budget-B")
 		})
 	}
+}
+
+// ---------------------------------------------------- Repeated script jobs
+
+// repeatedScriptsDoc is the JSON job document BenchmarkRepeatedScripts
+// re-submits: a projection and a join feeding an aggregation, with
+// explicit cardinality hints and a deliberately tiny inline payload.
+// Submit-to-start cost is then dominated by PactScript compilation, flow
+// construction, and plan enumeration — exactly what the scheduler's two
+// cache levels elide on a hit — rather than by decoding payload rows,
+// which both the cold and cached paths pay alike.
+const repeatedScriptsDoc = `{
+  "name": "repeated",
+  "script": "map scale(ir) { out := copy(ir) out[1] = ir[1] + 1 emit out } map clean(ir) { out := copy(ir) out[3] = ir[3] + 1 emit out } binary pair(l, r) { out := concat(l, r) emit out } reduce tally(g) { first := g.at(0) out := copy(first) out[1] = sum(g, 3) emit out } map fmt(ir) { out := copy(ir) out[3] = ir[1] + ir[3] emit out }",
+  "flow": {
+    "sources": [
+      {"name": "L", "attrs": ["lk", "lv"], "records": 50000, "avg_width_bytes": 20},
+      {"name": "R", "attrs": ["rk", "rv"], "records": 50000, "avg_width_bytes": 20}
+    ],
+    "ops": [
+      {"kind": "map", "name": "scale", "udf": "scale", "inputs": ["L"]},
+      {"kind": "map", "name": "clean", "udf": "clean", "inputs": ["R"]},
+      {"kind": "match", "name": "join", "udf": "pair", "inputs": ["scale", "clean"], "keys": [["lk"], ["rk"]], "key_cardinality": 4000},
+      {"kind": "reduce", "name": "agg", "udf": "tally", "inputs": ["join"], "keys": [["lk"]], "key_cardinality": 4000},
+      {"kind": "map", "name": "fmt", "udf": "fmt", "inputs": ["agg"]}
+    ],
+    "sink": "fmt"
+  },
+  "data": {
+    "L": [[1, 10], [2, 20], [3, 30], [1, 40], [2, 50], [3, 60]],
+    "R": [[1, 100], [2, 200], [3, 300], [1, 400], [2, 500], [3, 600]]
+  }
+}`
+
+// BenchmarkRepeatedScripts measures what the plan cache is for: the
+// per-job submit-to-start latency of re-submitting the same script
+// document, cold (caching disabled, every submission recompiles) versus
+// cached (flow and plan reused). The cold/cached ns ratio is the committed
+// BENCH_svc.json baseline that cmd/benchguard enforces. A third
+// sub-benchmark drives the same document from several tenants at once under
+// quotas and a shared budget, and fails if the scheduler ever exceeds the
+// global budget or lets a tenant past its caps.
+func BenchmarkRepeatedScripts(b *testing.B) {
+	raw := []byte(repeatedScriptsDoc)
+
+	// submitOnce parses, submits, and runs one job on an otherwise idle
+	// scheduler. The returned latency is submit-to-start: from raw bytes
+	// to the moment the physical plan is in hand and execution begins
+	// (Job.Planned) — JSON decode, script compilation and plan
+	// enumeration (cold) or cache lookups (cached), hint resolution,
+	// hashing, and admission — but not the run itself.
+	submitOnce := func(b *testing.B, s *blackboxflow.Scheduler) time.Duration {
+		b.Helper()
+		t0 := time.Now()
+		spec, err := s.ParseScriptJob(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j.Started().IsZero() {
+			b.Fatal("job queued on an idle scheduler")
+		}
+		out, _, err := j.Wait(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("job produced no output")
+		}
+		return j.Planned().Sub(t0)
+	}
+
+	// Cold: plan caching disabled; every submission recompiles the script
+	// and rebuilds the flow from scratch.
+	b.Run("cold", func(b *testing.B) {
+		s := blackboxflow.NewScheduler(blackboxflow.SchedulerConfig{
+			MaxConcurrent: 1, DOP: 2, PlanCacheSize: -1,
+		})
+		var total time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			total += submitOnce(b, s)
+		}
+		b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "submit-to-start-ns/job")
+	})
+
+	// Cached: one warming submission outside the timer, then every
+	// iteration must hit both cache levels.
+	b.Run("cached", func(b *testing.B) {
+		s := blackboxflow.NewScheduler(blackboxflow.SchedulerConfig{
+			MaxConcurrent: 1, DOP: 2,
+		})
+		submitOnce(b, s)
+		var total time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			total += submitOnce(b, s)
+		}
+		b.StopTimer()
+		m := s.Metrics()
+		if m.FlowCacheHits < int64(b.N) || m.PlanCacheHits < int64(b.N) {
+			b.Fatalf("cache hits flow=%d plan=%d, want >= %d each",
+				m.FlowCacheHits, m.PlanCacheHits, b.N)
+		}
+		b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "submit-to-start-ns/job")
+	})
+
+	// Multitenant: four tenants re-submit the document concurrently under
+	// per-tenant caps and a global budget that fits only two grants. The
+	// in-benchmark assertions are the acceptance checks: peak granted
+	// never exceeds the global budget, and no tenant exceeds its running
+	// cap or budget share.
+	b.Run("multitenant", func(b *testing.B) {
+		const (
+			tenants   = 4
+			perTenant = 6
+			perJob    = 64 << 10
+			global    = 2 * perJob
+			maxRun    = 2
+		)
+		b.ResetTimer()
+		var peakGranted, tenantPeakRun int
+		for i := 0; i < b.N; i++ {
+			s := blackboxflow.NewScheduler(blackboxflow.SchedulerConfig{
+				GlobalBudget:     global,
+				MaxConcurrent:    4,
+				MaxQueue:         -1,
+				DOP:              2,
+				TenantMaxRunning: maxRun,
+				TenantBudgetFrac: 0.5,
+			})
+			var handles []*blackboxflow.Job
+			for t := 0; t < tenants; t++ {
+				name := fmt.Sprintf("tenant-%d", t)
+				for k := 0; k < perTenant; k++ {
+					spec, err := s.ParseScriptJob(raw)
+					if err != nil {
+						b.Fatal(err)
+					}
+					spec.Tenant = name
+					spec.MemoryBudget = perJob
+					j, err := s.Submit(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, j)
+				}
+			}
+			for _, j := range handles {
+				if _, _, err := j.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m := s.Metrics()
+			if m.PeakGrantedBudget > global {
+				b.Fatalf("peak granted %d exceeded the global budget %d",
+					m.PeakGrantedBudget, global)
+			}
+			peakGranted, tenantPeakRun = m.PeakGrantedBudget, 0
+			for name, tm := range m.Tenants {
+				if tm.PeakRunning > maxRun {
+					b.Fatalf("tenant %s peak running %d exceeded its cap %d",
+						name, tm.PeakRunning, maxRun)
+				}
+				if share := global / 2; tm.PeakGrantedBudget > share {
+					b.Fatalf("tenant %s peak granted %d exceeded its share %d",
+						name, tm.PeakGrantedBudget, share)
+				}
+				if tm.PeakRunning > tenantPeakRun {
+					tenantPeakRun = tm.PeakRunning
+				}
+			}
+		}
+		b.ReportMetric(float64(tenants*perTenant), "jobs/op")
+		b.ReportMetric(float64(peakGranted), "peak-granted-B")
+		b.ReportMetric(float64(global), "global-budget-B")
+		b.ReportMetric(float64(tenantPeakRun), "tenant-peak-running")
+		b.ReportMetric(float64(maxRun), "tenant-cap")
+	})
 }

@@ -1,8 +1,9 @@
 // Command benchguard closes the loop between the committed BENCH_*.json
 // baselines and CI: it runs the engine micro-benchmarks (shuffle, combiner,
-// spill, joinspill) and the job-scheduler benchmark (jobs), recomputes the
-// headline ratios, and fails when a freshly measured ratio regresses by
-// more than the threshold (default 25%) against the committed baseline.
+// spill, joinspill), the job-scheduler benchmark (jobs), and the service
+// plan-cache benchmark (svc), recomputes the headline ratios, and fails
+// when a freshly measured ratio regresses by more than the threshold
+// (default 25%) against the committed baseline.
 //
 // Ratios — batched-vs-per-record throughput, combined-vs-plain shipped
 // bytes, spill-vs-in-memory runtime (grouping and join) — are compared
@@ -89,7 +90,7 @@ func main() {
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", ".", "-run", "NONE",
-		"-bench", "BenchmarkShuffle/|BenchmarkCombiner/|BenchmarkSpill/|BenchmarkJoinSpill/|BenchmarkConcurrentJobs/",
+		"-bench", "BenchmarkShuffle/|BenchmarkCombiner/|BenchmarkSpill/|BenchmarkJoinSpill/|BenchmarkConcurrentJobs/|BenchmarkRepeatedScripts/",
 		"-benchtime", *benchtime)
 	raw, err := cmd.CombinedOutput()
 	if err != nil {
@@ -117,6 +118,9 @@ func main() {
 	jobsDirect := need("BenchmarkConcurrentJobs/direct")
 	jobsSerial := need("BenchmarkConcurrentJobs/serial")
 	jobsConc := need("BenchmarkConcurrentJobs/concurrent")
+	svcCold := need("BenchmarkRepeatedScripts/cold")
+	svcCached := need("BenchmarkRepeatedScripts/cached")
+	svcMulti := need("BenchmarkRepeatedScripts/multitenant")
 
 	fresh := map[string]float64{
 		"shuffle_throughput":             shufLegacy["ns/op"] / shufBatched["ns/op"],
@@ -134,6 +138,11 @@ func main() {
 		"jobs_spilled_bytes":             jobsConc["spilled-B/op"],
 		"jobs_peak_granted_B":            jobsConc["peak-granted-B"],
 		"jobs_global_budget_B":           jobsConc["global-budget-B"],
+		"svc_cache_speedup":              svcCold["submit-to-start-ns/job"] / svcCached["submit-to-start-ns/job"],
+		"svc_peak_granted_B":             svcMulti["peak-granted-B"],
+		"svc_global_budget_B":            svcMulti["global-budget-B"],
+		"svc_tenant_peak_running":        svcMulti["tenant-peak-running"],
+		"svc_tenant_cap":                 svcMulti["tenant-cap"],
 	}
 
 	failed := false
@@ -192,6 +201,13 @@ func main() {
 		fresh["jobs_scheduler_overhead"], true, 2)
 	check("jobs concurrent speedup", "BENCH_jobs.json", "concurrent_speedup",
 		fresh["jobs_concurrent_speedup"], false, 2)
+	// The plan-cache speedup compares two submit paths of the same
+	// document on the same host (recompile vs cache hit), so hardware
+	// cancels; double slack because the cached side's absolute window is
+	// tens of microseconds and scheduler jitter moves it proportionally
+	// more than the CPU-bound ratios.
+	check("service plan-cache speedup", "BENCH_svc.json", "cache_speedup",
+		fresh["svc_cache_speedup"], false, 2)
 
 	// Deterministic sanity: the budgeted wordcount and join must actually
 	// spill, and the in-memory twins must not.
@@ -223,6 +239,20 @@ func main() {
 	if fresh["jobs_peak_granted_B"] > fresh["jobs_global_budget_B"] {
 		fail("BenchmarkConcurrentJobs/concurrent peak granted %.0f B exceeds the %.0f B global budget",
 			fresh["jobs_peak_granted_B"], fresh["jobs_global_budget_B"])
+	}
+	// Multitenant invariants: the benchmark b.Fatals on violations; the
+	// reported metrics are re-checked here so a silently skipped assertion
+	// cannot pass CI.
+	if fresh["svc_global_budget_B"] <= 0 {
+		fail("BenchmarkRepeatedScripts/multitenant reports no global budget")
+	}
+	if fresh["svc_peak_granted_B"] > fresh["svc_global_budget_B"] {
+		fail("BenchmarkRepeatedScripts/multitenant peak granted %.0f B exceeds the %.0f B global budget",
+			fresh["svc_peak_granted_B"], fresh["svc_global_budget_B"])
+	}
+	if fresh["svc_tenant_peak_running"] > fresh["svc_tenant_cap"] {
+		fail("BenchmarkRepeatedScripts/multitenant tenant peak running %.0f exceeds the per-tenant cap %.0f",
+			fresh["svc_tenant_peak_running"], fresh["svc_tenant_cap"])
 	}
 
 	if *outPath != "" {

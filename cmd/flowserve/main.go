@@ -9,13 +9,21 @@
 //
 //	POST /jobs             submit a job document (see internal/jobs.ScriptJob);
 //	                       ?wait=1 returns rows inline and cancels the job
-//	                       if the client disconnects while waiting
+//	                       if the client disconnects while waiting; the
+//	                       X-Tenant header attributes the job to a tenant
+//	                       for quota enforcement (429 over quota)
 //	GET  /jobs             list submitted jobs
 //	GET  /jobs/{id}        job status + per-operator statistics
-//	GET  /jobs/{id}/result rows of a succeeded job
+//	GET  /jobs/{id}/result rows of a succeeded job; ?stream=1 writes rows
+//	                       incrementally instead of buffering the document
 //	POST /jobs/{id}/cancel evict a queued job / stop a running one
-//	GET  /metrics          scheduler admission metrics
+//	GET  /metrics          scheduler admission + plan-cache metrics
 //	GET  /healthz          liveness (503 while draining)
+//
+// Repeated submissions of the same document hit the scheduler's plan
+// cache (-plan-cache entries) and skip compilation and optimization.
+// Terminal jobs are evicted from the registry after -job-ttl or beyond
+// -max-jobs (oldest finished first); evicted IDs answer 410 Gone.
 //
 // A worked submission example lives in README.md ("flowserve quickstart").
 // On SIGINT/SIGTERM the server drains gracefully: new submissions get 503,
@@ -46,17 +54,31 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "parent directory for per-job spill directories (default: OS temp)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline, e.g. 30s (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for accepted jobs before cancelling them")
+	planCache := flag.Int("plan-cache", 256, "plan-cache entries per level: compiled flows and optimized plans (negative = disabled)")
+	tenantMaxRunning := flag.Int("tenant-max-running", 0, "per-tenant cap on concurrently running jobs (0 = none)")
+	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "per-tenant cap on queued jobs; 429 beyond it (0 = none)")
+	tenantBudgetFrac := flag.Float64("tenant-budget-frac", 0, "fraction of the global budget one tenant's running jobs may hold, e.g. 0.5 (0 = none)")
+	maxQueuedCost := flag.Float64("max-queued-cost", 0, "ceiling on summed optimizer cost estimates of queued jobs; 429 beyond it (0 = off)")
+	jobTTL := flag.Duration("job-ttl", defaultJobTTL, "how long finished jobs stay pollable before registry eviction (0 = forever)")
+	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "registry size that evicts oldest finished jobs (0 = unbounded)")
 	flag.Parse()
 
 	sched := jobs.New(jobs.Config{
-		GlobalBudget:  *globalBudget,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		DOP:           *dop,
-		SpillDir:      *spillDir,
-		JobTimeout:    *jobTimeout,
+		GlobalBudget:     *globalBudget,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		DOP:              *dop,
+		SpillDir:         *spillDir,
+		JobTimeout:       *jobTimeout,
+		PlanCacheSize:    *planCache,
+		TenantMaxRunning: *tenantMaxRunning,
+		TenantMaxQueued:  *tenantMaxQueued,
+		TenantBudgetFrac: *tenantBudgetFrac,
+		MaxQueuedCost:    *maxQueuedCost,
 	})
 	srv := newServer(sched)
+	srv.jobTTL = *jobTTL
+	srv.maxJobs = *maxJobs
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,37 +1,106 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blackboxflow/internal/engine"
 	"blackboxflow/internal/jobs"
+	"blackboxflow/internal/record"
 )
 
 // maxJobDocBytes bounds a submitted job document (script + inline data).
 const maxJobDocBytes = 64 << 20
 
-// server is the HTTP front door over a jobs.Scheduler. It keeps every
-// submitted job in memory by ID so results and statistics stay pollable
-// after completion (the registry lives as long as the process; restart to
-// reclaim).
+// streamFlushEvery is how many rows the streaming result writer emits
+// between flushes, so clients see early rows while the tail is still
+// being written.
+const streamFlushEvery = 64
+
+// Registry-eviction defaults (overridable via flags in main.go).
+const (
+	defaultJobTTL  = 15 * time.Minute
+	defaultMaxJobs = 4096
+)
+
+// server is the HTTP front door over a jobs.Scheduler. It keeps submitted
+// jobs in memory by ID so results and statistics stay pollable after
+// completion — but not forever: terminal jobs are evicted once they
+// outlive jobTTL or the registry grows past maxJobs (oldest-finished
+// first), so sustained traffic cannot grow the registry without bound.
+// Requests for an evicted ID get 410 Gone; never-issued IDs get 404.
 type server struct {
 	sched    *jobs.Scheduler
 	draining atomic.Bool
 
-	mu   sync.Mutex
-	byID map[int64]*jobs.Job
+	jobTTL  time.Duration // how long terminal jobs stay pollable (0 = forever)
+	maxJobs int           // registry size that triggers eviction (0 = unbounded)
+
+	mu    sync.Mutex
+	byID  map[int64]*jobs.Job
+	maxID int64 // highest job ID ever registered; IDs ≤ maxID were real jobs
 }
 
 func newServer(sched *jobs.Scheduler) *server {
-	return &server{sched: sched, byID: map[int64]*jobs.Job{}}
+	return &server{
+		sched:   sched,
+		byID:    map[int64]*jobs.Job{},
+		jobTTL:  defaultJobTTL,
+		maxJobs: defaultMaxJobs,
+	}
+}
+
+// register adds a job to the registry and evicts stale terminal jobs.
+func (s *server) register(j *jobs.Job) {
+	s.mu.Lock()
+	s.byID[j.ID] = j
+	if j.ID > s.maxID {
+		s.maxID = j.ID
+	}
+	s.evictLocked(time.Now())
+	s.mu.Unlock()
+}
+
+// evictLocked drops terminal jobs that outlived jobTTL and, while the
+// registry exceeds maxJobs, the oldest-finished terminal jobs. Queued and
+// running jobs are never evicted. Caller holds s.mu.
+func (s *server) evictLocked(now time.Time) {
+	type doneJob struct {
+		id int64
+		at time.Time
+	}
+	var terminal []doneJob
+	for id, j := range s.byID {
+		if !j.State().Terminal() {
+			continue
+		}
+		at := j.Finished()
+		if s.jobTTL > 0 && now.Sub(at) > s.jobTTL {
+			delete(s.byID, id)
+			continue
+		}
+		terminal = append(terminal, doneJob{id, at})
+	}
+	if s.maxJobs <= 0 || len(s.byID) <= s.maxJobs {
+		return
+	}
+	sort.Slice(terminal, func(a, b int) bool { return terminal[a].at.Before(terminal[b].at) })
+	for _, d := range terminal {
+		if len(s.byID) <= s.maxJobs {
+			break
+		}
+		delete(s.byID, d.id)
+	}
 }
 
 // handler builds the route table.
@@ -51,6 +120,7 @@ func (s *server) handler() http.Handler {
 type jobView struct {
 	ID      int64            `json:"id"`
 	Name    string           `json:"name,omitempty"`
+	Tenant  string           `json:"tenant,omitempty"`
 	State   string           `json:"state"`
 	Grant   int              `json:"grant_bytes"`
 	Error   string           `json:"error,omitempty"`
@@ -59,7 +129,7 @@ type jobView struct {
 }
 
 func viewOf(j *jobs.Job) jobView {
-	v := jobView{ID: j.ID, Name: j.Name(), State: j.State().String(), Grant: j.Grant()}
+	v := jobView{ID: j.ID, Name: j.Name(), Tenant: j.Tenant(), State: j.State().String(), Grant: j.Grant()}
 	out, stats, err := j.Result()
 	if errors.Is(err, jobs.ErrNotFinished) {
 		return v
@@ -79,7 +149,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is out the door; all we can do is make the
+		// truncation visible instead of silently serving a partial body.
+		log.Printf("flowserve: writing response: %v", err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
@@ -100,14 +174,30 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusRequestEntityTooLarge, "job document exceeds %d bytes", maxJobDocBytes)
 		return
 	}
-	spec, err := jobs.ParseScriptJob(raw)
+	// Parse ?wait as a boolean up front: wait=0 and wait=false mean
+	// asynchronous (the zero-value reading), and a malformed value fails
+	// before the job is submitted rather than after.
+	wait := false
+	if v := r.URL.Query().Get("wait"); v != "" {
+		var err error
+		if wait, err = strconv.ParseBool(v); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad wait value %q (want a boolean)", v)
+			return
+		}
+	}
+	spec, err := s.sched.ParseScriptJob(raw)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		spec.Tenant = t
+	}
 	j, err := s.sched.Submit(spec)
 	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
+	case errors.Is(err, jobs.ErrQueueFull),
+		errors.Is(err, jobs.ErrTenantQuota),
+		errors.Is(err, jobs.ErrBackpressure):
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
@@ -117,15 +207,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	s.byID[j.ID] = j
-	s.mu.Unlock()
+	s.register(j)
 
 	// Synchronous mode: ?wait=1 holds the request open until the job
 	// finishes and returns its rows inline. If the client disconnects
 	// while waiting, the request context cancels and the job is cancelled
 	// with it — an abandoned job must not keep burning its budget grant.
-	if r.URL.Query().Get("wait") != "" {
+	if wait {
 		out, _, err := j.Wait(r.Context())
 		if r.Context().Err() != nil {
 			j.Cancel()
@@ -152,9 +240,14 @@ func (s *server) job(w http.ResponseWriter, r *http.Request) *jobs.Job {
 	}
 	s.mu.Lock()
 	j := s.byID[id]
+	wasIssued := id > 0 && id <= s.maxID
 	s.mu.Unlock()
 	if j == nil {
-		writeErr(w, http.StatusNotFound, "no job %d", id)
+		if wasIssued {
+			writeErr(w, http.StatusGone, "job %d was evicted from the registry", id)
+		} else {
+			writeErr(w, http.StatusNotFound, "no job %d", id)
+		}
 		return nil
 	}
 	return j
@@ -171,17 +264,78 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
+	stream := false
+	if v := r.URL.Query().Get("stream"); v != "" {
+		var err error
+		if stream, err = strconv.ParseBool(v); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad stream value %q (want a boolean)", v)
+			return
+		}
+	}
 	out, _, err := j.Result()
 	switch {
 	case errors.Is(err, jobs.ErrNotFinished):
 		writeJSON(w, http.StatusAccepted, viewOf(j))
 	case err != nil:
 		writeJSON(w, http.StatusConflict, viewOf(j))
+	case stream:
+		streamResult(w, j.ID, out)
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
 			"id":   j.ID,
 			"rows": jobs.EncodeRows(out),
 		})
+	}
+}
+
+// streamResult writes the result document incrementally, row by row, with
+// periodic flushes — the client sees the first rows while later ones are
+// still being encoded, and the server never materializes the full
+// jobs.EncodeRows slice or its JSON encoding. The bytes produced are
+// identical to the buffered handler's output (pinned by
+// TestResultStreamingMatchesBuffered): rows sit at the same indentation
+// json.Encoder's SetIndent("", "  ") produces, via json.Indent with the
+// row's nesting prefix.
+func streamResult(w http.ResponseWriter, id int64, out record.DataSet) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var buf bytes.Buffer
+	fail := func(err error) { log.Printf("flowserve: streaming result of job %d: %v", id, err) }
+	if _, err := fmt.Fprintf(w, "{\n  \"id\": %d,\n  \"rows\": [", id); err != nil {
+		fail(err)
+		return
+	}
+	for i, rec := range out {
+		b, err := json.Marshal(jobs.EncodeRow(rec))
+		if err != nil {
+			fail(err)
+			return
+		}
+		buf.Reset()
+		sep := ",\n    "
+		if i == 0 {
+			sep = "\n    "
+		}
+		buf.WriteString(sep)
+		if err := json.Indent(&buf, b, "    ", "  "); err != nil {
+			fail(err)
+			return
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			fail(err)
+			return
+		}
+		if flusher != nil && (i+1)%streamFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	tail := "]\n}\n"
+	if len(out) > 0 {
+		tail = "\n  ]\n}\n"
+	}
+	if _, err := io.WriteString(w, tail); err != nil {
+		fail(err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -282,5 +283,219 @@ func TestGracefulDrain(t *testing.T) {
 	getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id), &status)
 	if status["state"] != "succeeded" {
 		t.Errorf("accepted job state after drain = %v, want succeeded", status["state"])
+	}
+}
+
+// TestWaitParamBoolean: ?wait=0 and ?wait=false are asynchronous (202 with
+// a job view, not rows), and a malformed wait value is a 400 before any
+// job is submitted.
+func TestWaitParamBoolean(t *testing.T) {
+	srv, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+	for _, v := range []string{"0", "false"} {
+		resp, body := postJSON(t, ts.URL+"/jobs?wait="+v, wordcountDoc)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Errorf("wait=%s status = %d, want 202 (async): %v", v, resp.StatusCode, body)
+		}
+		if _, hasRows := body["rows"]; hasRows {
+			t.Errorf("wait=%s returned rows inline; it must not block", v)
+		}
+	}
+	before := srv.sched.Metrics().Submitted
+	resp, body := postJSON(t, ts.URL+"/jobs?wait=maybe", wordcountDoc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wait=maybe status = %d, want 400: %v", resp.StatusCode, body)
+	}
+	if after := srv.sched.Metrics().Submitted; after != before {
+		t.Errorf("malformed wait still submitted a job (%d -> %d)", before, after)
+	}
+}
+
+// rawGet fetches a URL and returns status and raw body bytes.
+func rawGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestResultStreamingMatchesBuffered: ?stream=1 must produce byte-for-byte
+// the document the buffered handler writes — for populated and empty
+// results — so clients cannot tell the difference except in arrival
+// timing.
+func TestResultStreamingMatchesBuffered(t *testing.T) {
+	emptyDoc := `{
+  "name": "empty",
+  "script": "map keep(ir) { if ir[1] == 99 { emit ir } }",
+  "flow": {
+    "sources": [{"name": "in", "attrs": ["k", "v"]}],
+    "ops": [{"kind": "map", "udf": "keep", "inputs": ["in"]}],
+    "sink": "keep"
+  },
+  "data": {"in": [[1, 1], [2, 2]]}
+}`
+	_, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+	for name, doc := range map[string]string{"populated": wordcountDoc, "empty": emptyDoc} {
+		t.Run(name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/jobs?wait=1", doc)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("submit status = %d: %v", resp.StatusCode, body)
+			}
+			id := int64(body["id"].(float64))
+			bufStatus, buffered := rawGet(t, fmt.Sprintf("%s/jobs/%d/result", ts.URL, id))
+			strStatus, streamed := rawGet(t, fmt.Sprintf("%s/jobs/%d/result?stream=1", ts.URL, id))
+			if bufStatus != http.StatusOK || strStatus != http.StatusOK {
+				t.Fatalf("status buffered=%d streamed=%d, want 200/200", bufStatus, strStatus)
+			}
+			if !bytes.Equal(buffered, streamed) {
+				t.Errorf("streamed result differs from buffered:\nbuffered: %q\nstreamed: %q",
+					buffered, streamed)
+			}
+		})
+	}
+	if status, _ := rawGet(t, ts.URL+"/jobs/1/result?stream=maybe"); status != http.StatusBadRequest {
+		t.Errorf("stream=maybe status = %d, want 400", status)
+	}
+}
+
+// TestRegistryEviction: terminal jobs beyond the registry capacity are
+// evicted oldest-finished first; their IDs answer 410 Gone while
+// never-issued IDs stay 404.
+func TestRegistryEviction(t *testing.T) {
+	srv, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2})
+	srv.maxJobs = 2
+
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/jobs?wait=1", wordcountDoc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d status = %d: %v", i, resp.StatusCode, body)
+		}
+		ids = append(ids, int64(body["id"].(float64)))
+	}
+
+	// The third registration pushed the registry to 3 > 2 and evicted the
+	// oldest finished job (the first).
+	if status, _ := rawGet(t, fmt.Sprintf("%s/jobs/%d", ts.URL, ids[0])); status != http.StatusGone {
+		t.Errorf("evicted job status = %d, want 410", status)
+	}
+	if status, _ := rawGet(t, fmt.Sprintf("%s/jobs/%d/result", ts.URL, ids[0])); status != http.StatusGone {
+		t.Errorf("evicted job result status = %d, want 410", status)
+	}
+	for _, id := range ids[1:] {
+		if status, _ := rawGet(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id)); status != http.StatusOK {
+			t.Errorf("retained job %d status = %d, want 200", id, status)
+		}
+	}
+	if status, _ := rawGet(t, ts.URL+"/jobs/999"); status != http.StatusNotFound {
+		t.Errorf("never-issued id status = %d, want 404", status)
+	}
+
+	// TTL eviction: age everything out; the next registration sweeps.
+	srv.jobTTL = time.Nanosecond
+	time.Sleep(10 * time.Millisecond)
+	if resp, _ := postJSON(t, ts.URL+"/jobs?wait=1", wordcountDoc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-TTL submit status = %d", resp.StatusCode)
+	}
+	for _, id := range ids[1:] {
+		if status, _ := rawGet(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id)); status != http.StatusGone {
+			t.Errorf("TTL-expired job %d status = %d, want 410", id, status)
+		}
+	}
+}
+
+// spinDoc is a small document whose reduce burns CPU per group, so the
+// job reliably occupies its engine slot for the duration of a few quick
+// HTTP round trips (unlike slowDoc, whose wide input parses slowly but
+// runs fast).
+func spinDoc() string {
+	var rows []string
+	for i := 0; i < 200; i++ {
+		rows = append(rows, fmt.Sprintf("[%d, %d]", i, i%7))
+	}
+	return `{
+  "name": "spin",
+  "script": "reduce spin(g) { first := g.at(0) out := copy(first) i := 0 while i < 100000 { i := i + 1 } out[1] = sum(g, 1) emit out }",
+  "flow": {
+    "sources": [{"name": "in", "attrs": ["k", "v"]}],
+    "ops": [{"kind": "reduce", "udf": "spin", "inputs": ["in"], "keys": [["k"]], "key_cardinality": 200}],
+    "sink": "spin"
+  },
+  "data": {"in": [` + strings.Join(rows, ",") + `]}
+}`
+}
+
+// TestTenantQuota429: a tenant over its queued cap gets 429 with the quota
+// error, attributed via the X-Tenant header.
+func TestTenantQuota429(t *testing.T) {
+	srv, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2, TenantMaxQueued: 1})
+
+	submitAs := func(tenant, doc string) (*http.Response, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m)
+		return resp, m
+	}
+
+	// Occupy the single engine slot, then fill acme's queue quota.
+	if resp, body := submitAs("acme", spinDoc()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker status = %d: %v", resp.StatusCode, body)
+	} else if body["tenant"] != "acme" {
+		t.Errorf("job view tenant = %v, want acme", body["tenant"])
+	}
+	if resp, body := submitAs("acme", wordcountDoc); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first queued submission status = %d", resp.StatusCode)
+	} else if body["state"] != "queued" {
+		t.Skipf("blocker finished before the quota filled (state %v)", body["state"])
+	}
+	resp, body := submitAs("acme", wordcountDoc)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		if m := srv.sched.Metrics(); m.Running == 0 {
+			t.Skipf("blocker finished before the over-quota submission (status %d)", resp.StatusCode)
+		}
+		t.Fatalf("over-quota status = %d, want 429: %v", resp.StatusCode, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "quota") {
+		t.Errorf("over-quota error = %q, want a quota message", msg)
+	}
+	// Another tenant is unaffected.
+	if resp, _ := submitAs("globex", wordcountDoc); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other tenant status = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestBackpressure429: with a tiny queued-cost ceiling, the job that would
+// queue is rejected 429 while the one that starts immediately is accepted.
+func TestBackpressure429(t *testing.T) {
+	srv, ts := testServer(t, jobs.Config{MaxConcurrent: 1, DOP: 2, MaxQueuedCost: 1e-9})
+
+	if resp, body := postJSON(t, ts.URL+"/jobs", spinDoc()); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("immediate-start submission status = %d: %v", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, ts.URL+"/jobs", wordcountDoc)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		if m := srv.sched.Metrics(); m.Running == 0 {
+			t.Skipf("blocker finished before the second submission (status %d)", resp.StatusCode)
+		}
+		t.Fatalf("queued submission status = %d, want 429: %v", resp.StatusCode, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "cost") {
+		t.Errorf("backpressure error = %q, want a cost message", msg)
 	}
 }

@@ -1,0 +1,209 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBudgetTier(t *testing.T) {
+	cases := []struct{ grant, tier int }{
+		{-1, 0}, {0, 0}, // unbudgeted
+		{1, 1},
+		{2, 2},
+		{3, 3}, {4, 3},
+		{5, 4}, {8, 4},
+		{1 << 20, 21}, {1<<20 + 1, 22},
+	}
+	for _, c := range cases {
+		if got := budgetTier(c.grant); got != c.tier {
+			t.Errorf("budgetTier(%d) = %d, want %d", c.grant, got, c.tier)
+		}
+	}
+}
+
+func TestLRUMapEvictsColdest(t *testing.T) {
+	l := newLRUMap(2)
+	l.add("a", 1)
+	l.add("b", 2)
+	l.get("a") // promote a; b is now coldest
+	l.add("c", 3)
+	if _, ok := l.get("b"); ok {
+		t.Error("b should have been evicted as the coldest entry")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := l.get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if l.len() != 2 {
+		t.Errorf("len = %d, want 2", l.len())
+	}
+	// add on an existing key keeps the first value (racing compilations
+	// converge on one shared instance).
+	if got := l.add("a", 99); got != 1 {
+		t.Errorf("re-add returned %v, want the cached 1", got)
+	}
+}
+
+// TestScriptJobHashSensitivity: the digest must ignore payload values (same
+// shape shares cache entries) but see everything that changes the compiled
+// flow or its plans — script text, wiring, and resolved cardinality hints.
+func TestScriptJobHashSensitivity(t *testing.T) {
+	hashOf := func(doc string) string {
+		t.Helper()
+		s := New(Config{MaxConcurrent: 1})
+		spec, err := s.ParseScriptJob([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.PlanKey == "" {
+			t.Fatal("ParseScriptJob returned no PlanKey")
+		}
+		return spec.PlanKey
+	}
+
+	base := hashOf(wordcountDoc)
+	if got := hashOf(wordcountDoc); got != base {
+		t.Error("same document hashed differently")
+	}
+	// Same row count with different payload values: same resolved hints,
+	// same plan space — must share the digest.
+	samePlan := strings.Replace(wordcountDoc,
+		`[["a", null], ["b", null], ["a", null], ["c", null], ["a", null], ["b", null]]`,
+		`[["x", null], ["y", null], ["x", null], ["z", null], ["x", null], ["y", null]]`, 1)
+	if got := hashOf(samePlan); got != base {
+		t.Error("payload-only change altered the digest")
+	}
+	// Fewer rows move the resolved Records hint: new digest.
+	fewerRows := strings.Replace(wordcountDoc,
+		`[["a", null], ["b", null], ["a", null], ["c", null], ["a", null], ["b", null]]`,
+		`[["a", null], ["b", null]]`, 1)
+	if got := hashOf(fewerRows); got == base {
+		t.Error("changed cardinality did not alter the digest")
+	}
+	// A different script compiles a different flow: new digest.
+	otherScript := strings.Replace(wordcountDoc, "count(g, 0)", "sum(g, 0)", 1)
+	if got := hashOf(otherScript); got == base {
+		t.Error("changed script did not alter the digest")
+	}
+	// Different wiring (key cardinality hint): new digest.
+	otherHint := strings.Replace(wordcountDoc, `"key_cardinality": 3`, `"key_cardinality": 4`, 1)
+	if got := hashOf(otherHint); got == base {
+		t.Error("changed flow hint did not alter the digest")
+	}
+}
+
+// TestPlanCacheHitsSkipRecompilation: the second parse of a document reuses
+// the compiled flow (same pointer), and the second execution reuses the
+// optimized plan — both visible in Metrics.
+func TestPlanCacheHitsSkipRecompilation(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, DOP: 2})
+	run := func() Spec {
+		t.Helper()
+		spec, err := s.ParseScriptJob([]byte(wordcountDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	first := run()
+	second := run()
+	if first.Flow != second.Flow {
+		t.Error("second parse did not reuse the cached compiled flow")
+	}
+	m := s.Metrics()
+	if m.FlowCacheHits != 1 || m.FlowCacheMisses != 1 {
+		t.Errorf("flow cache hits/misses = %d/%d, want 1/1", m.FlowCacheHits, m.FlowCacheMisses)
+	}
+	if m.PlanCacheHits != 1 || m.PlanCacheMisses != 1 {
+		t.Errorf("plan cache hits/misses = %d/%d, want 1/1", m.PlanCacheHits, m.PlanCacheMisses)
+	}
+}
+
+// TestPlanCacheDisabled: a negative PlanCacheSize turns the cache off and
+// ParseScriptJob degrades to the package-level path (no PlanKey).
+func TestPlanCacheDisabled(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, DOP: 2, PlanCacheSize: -1})
+	spec, err := s.ParseScriptJob([]byte(wordcountDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PlanKey != "" {
+		t.Errorf("PlanKey = %q with caching disabled, want empty", spec.PlanKey)
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.FlowCacheHits+m.FlowCacheMisses+m.PlanCacheHits+m.PlanCacheMisses != 0 {
+		t.Errorf("cache counters moved with caching disabled: %+v", m)
+	}
+}
+
+// TestPlanCacheConcurrentReuse pins the sharing-safety claim in
+// plancache.go's package comment: many goroutines parsing, submitting, and
+// running the same document — all sharing one compiled flow and one
+// optimized plan — produce identical results under -race.
+func TestPlanCacheConcurrentReuse(t *testing.T) {
+	s := New(Config{MaxConcurrent: 4, DOP: 2})
+	want := map[string]int64{"a": 3, "b": 2, "c": 1}
+	const goroutines, perG = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				spec, err := s.ParseScriptJob([]byte(wordcountDoc))
+				if err != nil {
+					errs <- err
+					return
+				}
+				j, err := s.Submit(spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out, _, err := j.Wait(context.Background())
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, rec := range out {
+					if got := rec.Field(1).AsInt(); got != want[rec.Field(0).AsString()] {
+						errs <- fmt.Errorf("count[%q] = %d, want %d",
+							rec.Field(0).AsString(), got, want[rec.Field(0).AsString()])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.FlowCacheMisses+m.PlanCacheMisses < 1 {
+		t.Error("no cache misses recorded; the test did not exercise population")
+	}
+	if m.FlowCacheHits == 0 || m.PlanCacheHits == 0 {
+		t.Errorf("no cache hits across %d identical submissions: %+v", goroutines*perG, m)
+	}
+}

@@ -55,6 +55,14 @@ var (
 	// ErrNotFinished is returned by Job.Result while the job is still
 	// queued or running.
 	ErrNotFinished = errors.New("jobs: job not finished")
+	// ErrTenantQuota is returned by Submit when the job's tenant already
+	// has Config.TenantMaxQueued jobs waiting.
+	ErrTenantQuota = errors.New("jobs: tenant queue quota exceeded")
+	// ErrBackpressure is returned by Submit when the summed optimizer
+	// cost estimates of the queued jobs would exceed Config.MaxQueuedCost
+	// — cost-based backpressure: one expensive plan fills the queue's
+	// cost budget even if the queue is short.
+	ErrBackpressure = errors.New("jobs: queued-cost ceiling exceeded")
 )
 
 // Config parameterizes a Scheduler. The zero value of every field has a
@@ -85,6 +93,26 @@ type Config struct {
 	// JobTimeout bounds every job's run wall time unless its Spec sets a
 	// tighter Deadline. Zero means no default deadline.
 	JobTimeout time.Duration
+	// PlanCacheSize bounds the plan cache (entries per level: compiled
+	// flows and optimized plans). Zero means the default of 256; negative
+	// disables caching entirely.
+	PlanCacheSize int
+	// TenantMaxRunning caps how many of one tenant's jobs may run at
+	// once; a tenant at its cap does not block other tenants' queued
+	// jobs. Zero means no per-tenant running cap.
+	TenantMaxRunning int
+	// TenantMaxQueued caps how many of one tenant's jobs may wait in the
+	// queue; Submit returns ErrTenantQuota beyond it. Zero means no cap.
+	TenantMaxQueued int
+	// TenantBudgetFrac caps the fraction of GlobalBudget one tenant's
+	// running jobs may hold in grants (e.g. 0.5). Zero means no cap.
+	TenantBudgetFrac float64
+	// MaxQueuedCost is the ceiling on the summed optimizer cost
+	// estimates of queued jobs: a Submit that would have to wait behind
+	// queued work already at the ceiling returns ErrBackpressure. Cost
+	// is the optimizer's abstract total (the unit RankAllBudget sorts
+	// by). Zero disables cost-based backpressure.
+	MaxQueuedCost float64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultGrant <= 0 && c.GlobalBudget > 0 {
 		c.DefaultGrant = c.GlobalBudget / c.MaxConcurrent
 	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
 	return c
 }
 
@@ -109,6 +140,14 @@ func (c Config) withDefaults() Config {
 type Spec struct {
 	// Name labels the job in listings and metrics; optional.
 	Name string
+	// Tenant attributes the job to a tenant for quota enforcement
+	// (running/queued caps, budget share); empty is the shared anonymous
+	// tenant.
+	Tenant string
+	// PlanKey is the plan-cache digest of the job document; set by
+	// Scheduler.ParseScriptJob. Empty disables plan caching for this
+	// job's optimization.
+	PlanKey string
 	// Flow is the logical dataflow to optimize and run. Required.
 	Flow *dataflow.Flow
 	// Sources maps the flow's source operator names to their data.
@@ -169,6 +208,9 @@ type Job struct {
 	spec Spec
 	// grant is the admission-controlled budget share, fixed at submission.
 	grant int
+	// cost is the optimizer cost estimate used for queued-cost
+	// backpressure (zero when backpressure is off).
+	cost float64
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -181,14 +223,45 @@ type Job struct {
 	err       error
 	submitted time.Time
 	started   time.Time
+	planned   time.Time
 	finished  time.Time
 }
 
 // Name returns the job's label from its spec.
 func (j *Job) Name() string { return j.spec.Name }
 
+// Tenant returns the tenant the job is attributed to ("" = anonymous).
+func (j *Job) Tenant() string { return j.spec.Tenant }
+
 // Grant returns the job's admission budget grant in bytes.
 func (j *Job) Grant() int { return j.grant }
+
+// CostEstimate returns the optimizer cost estimate backpressure charged
+// for this job (zero when Config.MaxQueuedCost is unset).
+func (j *Job) CostEstimate() float64 { return j.cost }
+
+// Started returns when the job was admitted (zero while still queued).
+func (j *Job) Started() time.Time {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.started
+}
+
+// Planned returns when the job's physical plan was in hand and execution
+// handoff began (zero before). Planned().Sub(Started()) is the per-job
+// optimizer latency — what the plan cache removes on a hit.
+func (j *Job) Planned() time.Time {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.planned
+}
+
+// Finished returns when the job reached a terminal state (zero before).
+func (j *Job) Finished() time.Time {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.finished
+}
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -237,6 +310,8 @@ func (j *Job) Cancel() {
 				break
 			}
 		}
+		s.tenant(j.spec.Tenant).queued--
+		s.dropQueuedCostLocked(j.cost)
 		j.finish(ErrCancelled)
 		s.m.Cancelled++
 		s.dispatchLocked()
@@ -267,17 +342,31 @@ func (j *Job) finish(err error) {
 type Metrics struct {
 	// Counters since construction.
 	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"` // queue-full or closed submissions
+	Rejected  int64 `json:"rejected"` // all rejected submissions
 	Admitted  int64 `json:"admitted"`
 	Succeeded int64 `json:"succeeded"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"` // queue evictions and mid-run cancels
+	// QuotaRejected and BackpressureRejected break Rejected down:
+	// per-tenant queue-cap rejections and queued-cost-ceiling rejections.
+	QuotaRejected        int64 `json:"quota_rejected"`
+	BackpressureRejected int64 `json:"backpressure_rejected"`
+	// Plan-cache counters: flow-level (compiled flows, counted by
+	// ParseScriptJob) and plan-level (optimized plans, counted at
+	// execution).
+	FlowCacheHits   int64 `json:"flow_cache_hits"`
+	FlowCacheMisses int64 `json:"flow_cache_misses"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
 
 	// Gauges.
 	Queued        int `json:"queued"`
 	Running       int `json:"running"`
 	GrantedBudget int `json:"granted_budget"`
 	GlobalBudget  int `json:"global_budget"`
+	// QueuedCost is the summed optimizer cost estimate of the queued
+	// jobs (the quantity MaxQueuedCost caps; zero with backpressure off).
+	QueuedCost float64 `json:"queued_cost"`
 
 	// High-water marks.
 	PeakGrantedBudget int `json:"peak_granted_budget"`
@@ -287,23 +376,51 @@ type Metrics struct {
 	// TotalQueueWait sums admitted jobs' time from submission to
 	// admission; divide by Admitted for the mean.
 	TotalQueueWait time.Duration `json:"total_queue_wait_ns"`
+
+	// Tenants holds per-tenant gauges and peaks, keyed by tenant name
+	// ("" is the anonymous tenant). Present once any job was submitted.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+}
+
+// TenantMetrics is one tenant's slice of the scheduler's state.
+type TenantMetrics struct {
+	Running           int `json:"running"`
+	Queued            int `json:"queued"`
+	GrantedBudget     int `json:"granted_budget"`
+	PeakRunning       int `json:"peak_running"`
+	PeakGrantedBudget int `json:"peak_granted_budget"`
+}
+
+// tenantState is the scheduler's live accounting for one tenant. One
+// entry per distinct tenant name is retained for the scheduler's
+// lifetime (a few dozen bytes each — the same order as any per-customer
+// metric a service keeps).
+type tenantState struct {
+	running, queued int
+	granted         int
+	peakRunning     int
+	peakGranted     int
 }
 
 // Scheduler runs submitted jobs on pooled engines under admission control.
 // See the package comment for the model.
 type Scheduler struct {
-	cfg  Config
-	pool chan *engine.Engine
+	cfg       Config
+	pool      chan *engine.Engine
+	planCache *PlanCache // nil when caching is disabled
 
-	mu       sync.Mutex
-	queue    []*Job
-	inFlight map[*Job]struct{}
-	granted  int
-	running  int
-	nextID   int64
-	closed   bool
-	drained  chan struct{} // lazily created by Shutdown waiters
-	m        Metrics
+	mu         sync.Mutex
+	queue      []*Job
+	inFlight   map[*Job]struct{}
+	granted    int
+	running    int
+	queuedCost float64 // summed cost estimates of queued jobs
+	tenants    map[string]*tenantState
+	nextID     int64
+	closed     bool
+	stopping   bool          // forced shutdown began; admit nothing more
+	drained    chan struct{} // lazily created by Shutdown waiters
+	m          Metrics
 }
 
 // New returns a Scheduler with cfg's admission parameters (zero fields take
@@ -314,6 +431,10 @@ func New(cfg Config) *Scheduler {
 		cfg:      cfg,
 		pool:     make(chan *engine.Engine, cfg.MaxConcurrent),
 		inFlight: map[*Job]struct{}{},
+		tenants:  map[string]*tenantState{},
+	}
+	if cfg.PlanCacheSize > 0 {
+		s.planCache = newPlanCache(cfg.PlanCacheSize)
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.pool <- engine.New(cfg.DOP)
@@ -321,9 +442,42 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
+// tenant returns (creating if needed) the accounting entry for a tenant.
+// Caller holds s.mu.
+func (s *Scheduler) tenant(name string) *tenantState {
+	ts, ok := s.tenants[name]
+	if !ok {
+		ts = &tenantState{}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// tenantBudgetCap returns the per-tenant grant ceiling in bytes (0 = no
+// cap).
+func (s *Scheduler) tenantBudgetCap() int {
+	if s.cfg.TenantBudgetFrac <= 0 || s.cfg.GlobalBudget <= 0 {
+		return 0
+	}
+	return int(s.cfg.TenantBudgetFrac * float64(s.cfg.GlobalBudget))
+}
+
+// dropQueuedCostLocked removes a no-longer-queued job's cost estimate,
+// clamping accumulated float error to zero when the queue empties.
+// Caller holds s.mu.
+func (s *Scheduler) dropQueuedCostLocked(cost float64) {
+	s.queuedCost -= cost
+	if len(s.queue) == 0 || s.queuedCost < 0 {
+		s.queuedCost = 0
+	}
+}
+
 // Submit queues a job and returns its handle. The call never blocks on
 // admission: the job runs when it reaches the queue head and its grant fits
-// under the global budget. Submit fails fast with ErrQueueFull or ErrClosed.
+// under the global budget. Submit fails fast with ErrQueueFull, ErrClosed,
+// ErrTenantQuota (the tenant's queued cap is reached), or ErrBackpressure
+// (the job would wait behind queued work whose summed cost estimates are
+// already at Config.MaxQueuedCost).
 func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if spec.Flow == nil {
 		return nil, errors.New("jobs: spec has no flow")
@@ -334,6 +488,16 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	}
 	if s.cfg.GlobalBudget > 0 && grant > s.cfg.GlobalBudget {
 		grant = s.cfg.GlobalBudget
+	}
+	dop := spec.DOP
+	if dop <= 0 {
+		dop = s.cfg.DOP
+	}
+	// Cost estimation can run the physical optimizer; keep it outside the
+	// lock.
+	var cost float64
+	if s.cfg.MaxQueuedCost > 0 {
+		cost = s.estimateCost(spec, grant, dop)
 	}
 
 	s.mu.Lock()
@@ -346,17 +510,42 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		s.m.Rejected++
 		return nil, ErrQueueFull
 	}
+	ts := s.tenant(spec.Tenant)
+	if s.cfg.TenantMaxQueued > 0 && ts.queued >= s.cfg.TenantMaxQueued {
+		s.m.Rejected++
+		s.m.QuotaRejected++
+		return nil, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrTenantQuota, spec.Tenant, ts.queued)
+	}
+	if s.cfg.MaxQueuedCost > 0 {
+		// Backpressure applies only to jobs that would actually wait: a
+		// job an idle scheduler admits immediately never joins the queue,
+		// so its cost cannot pile up behind anything.
+		willWait := len(s.queue) > 0 ||
+			s.running >= s.cfg.MaxConcurrent ||
+			(s.cfg.GlobalBudget > 0 && s.granted+grant > s.cfg.GlobalBudget) ||
+			(s.cfg.TenantMaxRunning > 0 && ts.running >= s.cfg.TenantMaxRunning) ||
+			(s.tenantBudgetCap() > 0 && ts.granted+grant > s.tenantBudgetCap())
+		if willWait && s.queuedCost+cost > s.cfg.MaxQueuedCost {
+			s.m.Rejected++
+			s.m.BackpressureRejected++
+			return nil, fmt.Errorf("%w: queued cost %.3g + job cost %.3g > ceiling %.3g",
+				ErrBackpressure, s.queuedCost, cost, s.cfg.MaxQueuedCost)
+		}
+	}
 	s.nextID++
 	j := &Job{
 		ID:        s.nextID,
 		s:         s,
 		spec:      spec,
 		grant:     grant,
+		cost:      cost,
 		done:      make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
 	s.queue = append(s.queue, j)
+	ts.queued++
+	s.queuedCost += cost
 	s.m.Submitted++
 	if len(s.queue) > s.m.PeakQueued {
 		s.m.PeakQueued = len(s.queue)
@@ -365,22 +554,68 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	return j, nil
 }
 
-// dispatchLocked admits queued jobs from the head while the next one fits:
-// a free engine slot and, under a global budget, enough unclaimed budget
-// for its grant. Strictly FIFO — if the head does not fit, nothing behind
-// it is considered. Caller holds s.mu.
+// estimateCost returns the optimizer's cost estimate for the spec under
+// its grant: the cached plan's exact ranked cost when the plan cache has
+// one, else a single physical optimization of the submitted operator
+// order — much cheaper than RankAllBudget's full enumeration, and close
+// enough for admission arithmetic (execute still optimizes properly).
+func (s *Scheduler) estimateCost(spec Spec, grant, dop int) float64 {
+	if s.planCache != nil && spec.PlanKey != "" {
+		if cost, ok := s.planCache.peekCost(planKey{hash: spec.PlanKey, tier: budgetTier(grant), dop: dop}); ok {
+			return cost
+		}
+	}
+	tree, err := optimizer.FromFlow(spec.Flow)
+	if err != nil {
+		return 0 // execute will surface the real error
+	}
+	po := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(spec.Flow), dop)
+	po.MemoryBudget = float64(grant)
+	plan := po.Optimize(tree)
+	return plan.Cost.Total(po.Weights)
+}
+
+// dispatchLocked admits queued jobs while the next one fits: a free engine
+// slot and, under a global budget, enough unclaimed budget for its grant.
+// Ordering is FIFO with one relaxation: a job held back only by its own
+// tenant's caps (running count or budget share) is skipped over so other
+// tenants' jobs behind it are not head-of-line blocked — a job held back
+// by a global constraint still blocks everything behind it, so large jobs
+// cannot be starved by small ones. No admission happens once a forced
+// shutdown has begun (s.stopping): Shutdown's queue eviction must not
+// admit jobs onto engines mid-teardown just to cancel them. Caller holds
+// s.mu.
 func (s *Scheduler) dispatchLocked() {
-	for len(s.queue) > 0 {
-		head := s.queue[0]
+	if s.stopping {
+		return
+	}
+	for i := 0; i < len(s.queue); {
+		head := s.queue[i]
 		if s.running >= s.cfg.MaxConcurrent {
 			return
 		}
 		if s.cfg.GlobalBudget > 0 && s.granted+head.grant > s.cfg.GlobalBudget {
 			return
 		}
-		s.queue = s.queue[1:]
+		ts := s.tenant(head.spec.Tenant)
+		if (s.cfg.TenantMaxRunning > 0 && ts.running >= s.cfg.TenantMaxRunning) ||
+			(s.tenantBudgetCap() > 0 && ts.granted+head.grant > s.tenantBudgetCap()) {
+			i++ // only this tenant is at cap; try the job behind it
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		ts.queued--
+		s.dropQueuedCostLocked(head.cost)
 		s.granted += head.grant
 		s.running++
+		ts.running++
+		ts.granted += head.grant
+		if ts.running > ts.peakRunning {
+			ts.peakRunning = ts.running
+		}
+		if ts.granted > ts.peakGranted {
+			ts.peakGranted = ts.granted
+		}
 		s.inFlight[head] = struct{}{}
 		head.state = StateRunning
 		head.started = time.Now()
@@ -423,16 +658,35 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 	}
 
 	// Optimize under the granted budget: the spill-cost model sees exactly
-	// the memory the engine will enforce.
-	tree, err := optimizer.FromFlow(j.spec.Flow)
-	if err != nil {
-		return nil, nil, fmt.Errorf("jobs: optimize: %w", err)
+	// the memory the engine will enforce. With a plan cache, a repeat
+	// submission of the same document at the same budget tier and DOP
+	// reuses the previously ranked plan and skips enumeration entirely.
+	var plan *optimizer.PhysPlan
+	var key planKey
+	cached := false
+	if s.planCache != nil && j.spec.PlanKey != "" {
+		key = planKey{hash: j.spec.PlanKey, tier: budgetTier(j.grant), dop: dop}
+		if e, ok := s.planCache.plan(key); ok {
+			plan, cached = e.plan, true
+		}
 	}
-	ranked := optimizer.RankAllBudget(tree, optimizer.NewEstimator(j.spec.Flow), dop, float64(j.grant))
-	if len(ranked) == 0 {
-		return nil, nil, errors.New("jobs: optimizer produced no plan")
+	if !cached {
+		tree, err := optimizer.FromFlow(j.spec.Flow)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobs: optimize: %w", err)
+		}
+		ranked := optimizer.RankAllBudget(tree, optimizer.NewEstimator(j.spec.Flow), dop, float64(j.grant))
+		if len(ranked) == 0 {
+			return nil, nil, errors.New("jobs: optimizer produced no plan")
+		}
+		plan = ranked[0].Phys
+		if s.planCache != nil && j.spec.PlanKey != "" {
+			s.planCache.storePlan(key, planEntry{plan: plan, cost: ranked[0].Cost})
+		}
 	}
-	plan := ranked[0].Phys
+	j.s.mu.Lock()
+	j.planned = time.Now()
+	j.s.mu.Unlock()
 
 	// A private spill directory per job: even a crash-interrupted engine
 	// cannot interleave its temp files with another job's, and removal on
@@ -472,6 +726,9 @@ func (s *Scheduler) finishJob(j *Job, out record.DataSet, stats *engine.RunStats
 	defer s.mu.Unlock()
 	s.granted -= j.grant
 	s.running--
+	ts := s.tenant(j.spec.Tenant)
+	ts.running--
+	ts.granted -= j.grant
 	delete(s.inFlight, j)
 	j.output, j.stats = out, stats
 	j.finish(err)
@@ -496,6 +753,22 @@ func (s *Scheduler) Metrics() Metrics {
 	m.Running = s.running
 	m.GrantedBudget = s.granted
 	m.GlobalBudget = s.cfg.GlobalBudget
+	m.QueuedCost = s.queuedCost
+	if s.planCache != nil {
+		m.FlowCacheHits, m.FlowCacheMisses, m.PlanCacheHits, m.PlanCacheMisses = s.planCache.counters()
+	}
+	if len(s.tenants) > 0 {
+		m.Tenants = make(map[string]TenantMetrics, len(s.tenants))
+		for name, ts := range s.tenants {
+			m.Tenants[name] = TenantMetrics{
+				Running:           ts.running,
+				Queued:            ts.queued,
+				GrantedBudget:     ts.granted,
+				PeakRunning:       ts.peakRunning,
+				PeakGrantedBudget: ts.peakGranted,
+			}
+		}
+	}
 	return m
 }
 
@@ -547,7 +820,11 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 
 	// Deadline passed: evict the queue and cancel in-flight runs, then
 	// wait for the engines to stop (cooperative cancellation is prompt).
+	// stopping gates dispatchLocked so the Cancel calls below (and any
+	// finishing jobs racing with them) cannot admit queued jobs onto
+	// engines that are being torn down just to cancel them moments later.
 	s.mu.Lock()
+	s.stopping = true
 	queued := append([]*Job(nil), s.queue...)
 	s.mu.Unlock()
 	for _, j := range queued {
