@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"blackboxflow/internal/faultfs"
+	"blackboxflow/internal/jobs"
+)
+
+// spillingWordcountDoc builds a wordcount document big enough, and budgeted
+// tightly enough, that the job spills sorted runs to disk — putting it on
+// the injector's fault surface.
+func spillingWordcountDoc() string {
+	var rows strings.Builder
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			rows.WriteString(",")
+		}
+		fmt.Fprintf(&rows, `["w%03d", null]`, i%100)
+	}
+	return fmt.Sprintf(`{
+  "name": "wordcount-spill",
+  "script": "reduce count(g) { first := g.at(0) out := copy(first) out[1] = count(g, 0) emit out }",
+  "flow": {
+    "sources": [{"name": "words", "attrs": ["word", "n"]}],
+    "ops": [{"kind": "reduce", "udf": "count", "inputs": ["words"], "keys": [["word"]], "key_cardinality": 100}],
+    "sink": "count"
+  },
+  "memory_budget_bytes": 288,
+  "data": {"words": [%s]}
+}`, rows.String())
+}
+
+// TestFaultedJobAnswers500 wires an injector into the service's filesystem
+// seam and checks the HTTP contract for a job killed by a disk fault: the
+// synchronous submit answers 500 with the injected error in the body, the
+// result endpoint answers 500 (not the 409 reserved for cancellation), and
+// the failure is counted in /metrics.
+func TestFaultedJobAnswers500(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS{}, 3, faultfs.ENOSPC) // spill dir, then first spill create/write
+	_, ts := testServer(t, jobs.Config{
+		MaxConcurrent: 1,
+		DOP:           3,
+		SpillDir:      t.TempDir(),
+		FS:            inj,
+	})
+
+	resp, body := postJSON(t, ts.URL+"/jobs?wait=1", spillingWordcountDoc())
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit?wait=1 status = %d, body %v; want 500", resp.StatusCode, body)
+	}
+	if !inj.Fired() {
+		t.Fatal("job finished without the injected fault firing — it never spilled")
+	}
+	errMsg, _ := body["error"].(string)
+	if !strings.Contains(errMsg, "no space left on device") {
+		t.Fatalf("error body %q does not surface the injected ENOSPC", errMsg)
+	}
+	if body["state"] != "failed" {
+		t.Fatalf("state = %v, want failed", body["state"])
+	}
+	id := int64(body["id"].(float64))
+
+	var view map[string]any
+	if resp := getJSON(t, fmt.Sprintf("%s/jobs/%d/result", ts.URL, id), &view); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("result status = %d, want 500", resp.StatusCode)
+	}
+	if errMsg, _ := view["error"].(string); !strings.Contains(errMsg, "no space left on device") {
+		t.Fatalf("result error %q does not surface the injected ENOSPC", errMsg)
+	}
+
+	var m jobs.Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Failed != 1 || m.Succeeded != 0 {
+		t.Fatalf("metrics after faulted job = %+v, want exactly one failure", m)
+	}
+	if m.GrantedBudget != 0 {
+		t.Fatalf("faulted job left %d bytes of budget granted", m.GrantedBudget)
+	}
+
+	// The service stays healthy: the same document succeeds once the
+	// single-shot fault is spent.
+	resp, body = postJSON(t, ts.URL+"/jobs?wait=1", spillingWordcountDoc())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit after fault: status %d, body %v", resp.StatusCode, body)
+	}
+	if rows, _ := body["rows"].([]any); len(rows) != 100 {
+		t.Fatalf("resubmit returned %d rows, want 100 (one per key)", len(rows))
+	}
+}

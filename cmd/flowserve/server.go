@@ -160,6 +160,17 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// failureStatus maps a terminal-with-error job to its HTTP status: a
+// cancelled job is a client-driven outcome (409 Conflict), while a failed
+// one — a disk fault mid-spill, a UDF error, a deadline — is the runtime's
+// failure to deliver the result (500, with the run's error in the body).
+func failureStatus(j *jobs.Job) int {
+	if j.State() == jobs.StateFailed {
+		return http.StatusInternalServerError
+	}
+	return http.StatusConflict
+}
+
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
@@ -220,7 +231,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return // the connection is gone; nothing to write
 		}
 		if err != nil {
-			writeJSON(w, http.StatusConflict, viewOf(j))
+			writeJSON(w, failureStatus(j), viewOf(j))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -277,7 +288,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, jobs.ErrNotFinished):
 		writeJSON(w, http.StatusAccepted, viewOf(j))
 	case err != nil:
-		writeJSON(w, http.StatusConflict, viewOf(j))
+		writeJSON(w, failureStatus(j), viewOf(j))
 	case stream:
 		streamResult(w, j.ID, out)
 	default:

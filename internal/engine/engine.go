@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/faultfs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/tac"
@@ -201,6 +202,12 @@ type Engine struct {
 	// finishes.
 	SpillDir string
 
+	// FS is the filesystem the spill path creates, writes, and reads its
+	// temp files through; nil means the real OS filesystem. Fault-injection
+	// harnesses install a faultfs.Injector here to fire disk faults at
+	// exact operation indices (see internal/faultfs and the chaos suite).
+	FS faultfs.FS
+
 	// NetBandwidth simulates a cluster interconnect: when positive, every
 	// non-forward shipping step takes at least shippedBytes/NetBandwidth
 	// seconds of wall time. The paper's evaluation ran on 1 GbE, where
@@ -233,6 +240,14 @@ func (e *Engine) WithNetBandwidth(bytesPerSec float64) *Engine {
 func (e *Engine) WithMemoryBudget(bytes int) *Engine {
 	e.MemoryBudget = bytes
 	return e
+}
+
+// fs returns the engine's filesystem seam, defaulting to the real OS.
+func (e *Engine) fs() faultfs.FS {
+	if e.FS != nil {
+		return e.FS
+	}
+	return faultfs.OS{}
 }
 
 // AddSource registers the data of a named source operator.

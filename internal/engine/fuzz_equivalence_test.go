@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/faultfs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/tac"
@@ -153,33 +155,36 @@ func TestRandomPipelinesAllPlansEquivalent(t *testing.T) {
 	}
 }
 
-// TestRandomPipelinesTinyBudgetEquivalent is the out-of-core counterpart of
-// the randomized soundness checks: random Map+Reduce pipelines, every
-// enumerated alternative, executed under an artificially tiny MemoryBudget
-// (forcing multi-run external merges on every shuffled grouping) must be
-// byte-identical to the same plan's unlimited-budget run, and bag-equal
-// across alternatives.
-func TestRandomPipelinesTinyBudgetEquivalent(t *testing.T) {
-	const (
-		trials = 25
-		width  = 4
-		nMaps  = 3
-		nRows  = 150
-	)
-	spillDir := t.TempDir()
-	sawSpill := false
-	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+// tinyBudgetTrial is one randomly generated Map+Reduce pipeline from the
+// tiny-budget sweep's seed series, shared by the budget-equivalence and
+// fault-equivalence tests so both walk the same pipeline population.
+type tinyBudgetTrial struct {
+	src  string
+	flow *dataflow.Flow
+	tree *optimizer.Tree
+	data record.DataSet
+}
 
-		var src string
-		names := make([]string, nMaps)
-		for i := range names {
-			names[i] = fmt.Sprintf("m%d", i)
-			src += genUDF(rng, names[i], width)
-		}
-		keyField := rng.Intn(width)
-		aggField := rng.Intn(width)
-		src += fmt.Sprintf(`
+// genTinyBudgetTrial builds trial number `trial` of the tiny-budget sweep:
+// random Map UDFs feeding a sum-aggregate Reduce, plus matching input data.
+func genTinyBudgetTrial(t *testing.T, trial int) tinyBudgetTrial {
+	t.Helper()
+	const (
+		width = 4
+		nMaps = 3
+		nRows = 150
+	)
+	rng := rand.New(rand.NewSource(int64(9000 + trial)))
+
+	var src string
+	names := make([]string, nMaps)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+		src += genUDF(rng, names[i], width)
+	}
+	keyField := rng.Intn(width)
+	aggField := rng.Intn(width)
+	src += fmt.Sprintf(`
 func reduce agg($g) {
 	$first := groupget $g 0
 	$or := newrec
@@ -190,43 +195,60 @@ func reduce agg($g) {
 	emit $or
 }`, keyField, keyField, aggField, width)
 
-		prog, err := tac.Parse(src)
-		if err != nil {
-			t.Fatalf("trial %d: %v\n%s", trial, err, src)
-		}
+	prog, err := tac.Parse(src)
+	if err != nil {
+		t.Fatalf("trial %d: %v\n%s", trial, err, src)
+	}
 
-		f := dataflow.NewFlow()
-		attrs := make([]string, width+1)
-		for i := 0; i <= width; i++ {
-			attrs[i] = fmt.Sprintf("a%d", i)
-		}
-		node := f.Source("S", attrs[:width], dataflow.Hints{Records: nRows, AvgWidthBytes: float64(9 * width)})
-		f.DeclareAttr(attrs[width])
-		for _, n := range names {
-			fn, _ := prog.Lookup(n)
-			node = f.Map(n, fn, node, dataflow.Hints{})
-		}
-		aggFn, _ := prog.Lookup("agg")
-		node = f.Reduce("agg", aggFn, []string{attrs[keyField]}, node, dataflow.Hints{KeyCardinality: 13})
-		f.SetSink("out", node)
-		if err := f.DeriveEffects(false); err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
-		}
+	f := dataflow.NewFlow()
+	attrs := make([]string, width+1)
+	for i := 0; i <= width; i++ {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	node := f.Source("S", attrs[:width], dataflow.Hints{Records: nRows, AvgWidthBytes: float64(9 * width)})
+	f.DeclareAttr(attrs[width])
+	for _, n := range names {
+		fn, _ := prog.Lookup(n)
+		node = f.Map(n, fn, node, dataflow.Hints{})
+	}
+	aggFn, _ := prog.Lookup("agg")
+	node = f.Reduce("agg", aggFn, []string{attrs[keyField]}, node, dataflow.Hints{KeyCardinality: 13})
+	f.SetSink("out", node)
+	if err := f.DeriveEffects(false); err != nil {
+		t.Fatalf("trial %d: %v", trial, err)
+	}
 
-		tree, err := optimizer.FromFlow(f)
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
-		}
-		alts := optimizer.NewEnumerator().Enumerate(tree)
+	tree, err := optimizer.FromFlow(f)
+	if err != nil {
+		t.Fatalf("trial %d: %v", trial, err)
+	}
 
-		data := make(record.DataSet, nRows)
-		for i := range data {
-			r := make(record.Record, width)
-			for j := range r {
-				r[j] = record.Int(int64(rng.Intn(9) - 4))
-			}
-			data[i] = r
+	data := make(record.DataSet, nRows)
+	for i := range data {
+		r := make(record.Record, width)
+		for j := range r {
+			r[j] = record.Int(int64(rng.Intn(9) - 4))
 		}
+		data[i] = r
+	}
+	return tinyBudgetTrial{src: src, flow: f, tree: tree, data: data}
+}
+
+// TestRandomPipelinesTinyBudgetEquivalent is the out-of-core counterpart of
+// the randomized soundness checks: random Map+Reduce pipelines, every
+// enumerated alternative, executed under an artificially tiny MemoryBudget
+// (forcing multi-run external merges on every shuffled grouping) must be
+// byte-identical to the same plan's unlimited-budget run, and bag-equal
+// across alternatives.
+func TestRandomPipelinesTinyBudgetEquivalent(t *testing.T) {
+	const trials = 25
+	spillDir := t.TempDir()
+	sawSpill := false
+	for trial := 0; trial < trials; trial++ {
+		tr := genTinyBudgetTrial(t, trial)
+		src, f, data := tr.src, tr.flow, tr.data
+		alts := optimizer.NewEnumerator().Enumerate(tr.tree)
+
 		e := New(3)
 		e.AddSource("S", data)
 		e.SpillDir = spillDir
@@ -276,6 +298,74 @@ func reduce agg($g) {
 	}
 	if !sawSpill {
 		t.Fatal("no trial ever spilled — the tiny budget is not exercising the out-of-core path")
+	}
+}
+
+// TestRandomPipelinesTinyBudgetFaultEquivalent re-runs the tiny-budget sweep's
+// pipeline population with one seeded fault injected per trial: each trial
+// must either fail cleanly with an error wrapping the injected fault, or —
+// when the fault misses the run (latency, or an unreached op index) —
+// produce output byte-identical to the fault-free budgeted run. Either way
+// no spill file survives, and the engine runs the next trial normally.
+func TestRandomPipelinesTinyBudgetFaultEquivalent(t *testing.T) {
+	const trials = 15
+	spillDir := t.TempDir()
+	faulted := 0
+	for trial := 0; trial < trials; trial++ {
+		tr := genTinyBudgetTrial(t, trial)
+		alts := optimizer.NewEnumerator().Enumerate(tr.tree)
+		phys := optimizer.NewPhysicalOptimizer(optimizer.NewEstimator(tr.flow), 3).Optimize(alts[0])
+
+		e := New(3)
+		e.AddSource("S", tr.data)
+		e.SpillDir = spillDir
+		e.MemoryBudget = 96 * e.DOP
+
+		ref, _, err := e.Run(phys)
+		if err != nil {
+			t.Fatalf("trial %d: fault-free run: %v", trial, err)
+		}
+		assertNoSpillFiles(t, spillDir)
+
+		// Measure the trial's fault surface, then inject one seeded fault.
+		counter := faultfs.NewInjector(faultfs.OS{}, 0, faultfs.ENOSPC)
+		e.FS = counter
+		if _, _, err := e.Run(phys); err != nil {
+			t.Fatalf("trial %d: counting run: %v", trial, err)
+		}
+		nOps := counter.Ops()
+		if nOps == 0 {
+			t.Fatalf("trial %d never touched the spill path under the tiny budget", trial)
+		}
+		inj := faultfs.Seeded(faultfs.OS{}, int64(9000+trial), nOps)
+		inj.Delay = time.Millisecond
+		e.FS = inj
+		out, _, err := e.Run(phys)
+		switch {
+		case err != nil:
+			if !inj.Fired() {
+				t.Fatalf("trial %d: error %v without the fault firing\nUDFs:\n%s", trial, err, tr.src)
+			}
+			if !faultfs.IsInjected(err) {
+				t.Fatalf("trial %d: error %v does not wrap the injected fault\nUDFs:\n%s", trial, err, tr.src)
+			}
+			faulted++
+		default:
+			requireByteIdentical(t, out, ref, fmt.Sprintf("trial %d (fault missed)", trial))
+		}
+		assertNoSpillFiles(t, spillDir)
+
+		// The engine stays usable: a fault-free rerun is byte-identical.
+		e.FS = nil
+		out, _, err = e.Run(phys)
+		if err != nil {
+			t.Fatalf("trial %d: rerun after fault: %v", trial, err)
+		}
+		requireByteIdentical(t, out, ref, fmt.Sprintf("trial %d rerun", trial))
+		assertNoSpillFiles(t, spillDir)
+	}
+	if faulted == 0 {
+		t.Fatal("no trial's seeded fault ever surfaced an error — the schedule generator is not reaching the spill path")
 	}
 }
 

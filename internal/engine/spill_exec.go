@@ -271,7 +271,7 @@ func (e *Engine) spillCollect(ctx context.Context, st *shuffleState, out Partiti
 		}
 		sortByKey(buf, keys)
 		if sp.file == nil {
-			if sp.file, sp.err = spill.Create(e.SpillDir); sp.err != nil {
+			if sp.file, sp.err = spill.CreateIn(e.fs(), e.SpillDir); sp.err != nil {
 				continue
 			}
 		}

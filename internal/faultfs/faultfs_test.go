@@ -1,0 +1,180 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSPassthrough: the OS FS behaves like the os package — create, write,
+// read back, remove.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OS{}.CreateTemp(dir, "fault-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (OS{}).Remove(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := OS{}.MkdirTemp(dir, "d-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (OS{}).RemoveAll(sub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorCountsWithoutFiring: a disabled injector (At=0) counts every
+// operation and never faults.
+func TestInjectorCountsWithoutFiring(t *testing.T) {
+	in := NewInjector(OS{}, 0, ENOSPC)
+	dir := t.TempDir()
+	f, err := in.CreateTemp(dir, "c-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Remove(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Ops(); got != 5 {
+		t.Errorf("Ops() = %d, want 5 (create, write, read, close, remove)", got)
+	}
+	if in.Fired() {
+		t.Error("disabled injector fired")
+	}
+}
+
+// TestInjectorFiresOnceThenPassesThrough: the scheduled fault fires on the
+// first applicable operation at/after At, exactly once.
+func TestInjectorFiresOnceThenPassesThrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 2, ENOSPC) // op 1 = create, op 2 = first write
+	f, err := in.CreateTemp(dir, "f-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("doomed")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("first write err = %v, want ENOSPC", err)
+	}
+	if !in.Fired() {
+		t.Fatal("injector did not record the fault")
+	}
+	// Single fault: the next write succeeds.
+	if _, err := f.Write([]byte("fine")); err != nil {
+		t.Fatalf("post-fault write err = %v", err)
+	}
+	f.Close()
+}
+
+// TestInjectorWaitsForApplicableOp: a ReadErr armed on a write index slides
+// to the next read instead of corrupting an inapplicable operation.
+func TestInjectorWaitsForApplicableOp(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 1, ReadErr) // op 1 is the create; reads come later
+	f, err := in.CreateTemp(dir, "r-*")
+	if err != nil {
+		t.Fatalf("create should pass through for a read fault: %v", err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("write should pass through for a read fault: %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 3), 0); !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("read err = %v, want ErrInjectedRead", err)
+	}
+	f.Close()
+}
+
+// TestInjectorShortWritePersistsPrefix: a short write leaves the prefix on
+// disk and reports io.ErrShortWrite.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 2, ShortWrite)
+	f, err := in.CreateTemp(dir, "s-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3 (half the buffer)", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(f.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("file holds %q, want the torn prefix %q", got, "abc")
+	}
+}
+
+// TestSeededDeterminism: the same seed always derives the same schedule.
+func TestSeededDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Seeded(OS{}, seed, 1000)
+		b := Seeded(OS{}, seed, 1000)
+		if a.At != b.At || a.Kind != b.Kind {
+			t.Fatalf("seed %d: schedule (%d,%v) vs (%d,%v)", seed, a.At, a.Kind, b.At, b.Kind)
+		}
+		if a.At < 1 || a.At > 1000 {
+			t.Fatalf("seed %d: At %d outside [1,1000]", seed, a.At)
+		}
+	}
+}
+
+// TestLatencyKindNeverErrors: latency faults stall but succeed.
+func TestLatencyKindNeverErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, 1, Latency)
+	in.Delay = 1 // nanosecond; keep the test fast
+	f, err := in.CreateTemp(dir, "l-*")
+	if err != nil {
+		t.Fatalf("latency fault errored: %v", err)
+	}
+	if !in.Fired() {
+		t.Fatal("latency fault did not fire on op 1")
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := in.Remove(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIsInjected recognizes all three error-producing kinds and nothing else.
+func TestIsInjected(t *testing.T) {
+	if !IsInjected(syscall.ENOSPC) || !IsInjected(io.ErrShortWrite) || !IsInjected(ErrInjectedRead) {
+		t.Error("IsInjected misses an injector error")
+	}
+	if IsInjected(errors.New("unrelated")) || IsInjected(nil) {
+		t.Error("IsInjected claims an unrelated error")
+	}
+}

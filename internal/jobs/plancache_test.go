@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"blackboxflow/internal/dataflow"
 )
 
 func TestBudgetTier(t *testing.T) {
@@ -205,5 +207,124 @@ func TestPlanCacheConcurrentReuse(t *testing.T) {
 	}
 	if m.FlowCacheHits == 0 || m.PlanCacheHits == 0 {
 		t.Errorf("no cache hits across %d identical submissions: %+v", goroutines*perG, m)
+	}
+}
+
+// TestPlanCacheConcurrentEvictionFault hammers a capacity-2 PlanCache from
+// 8 goroutines with 8 overlapping keys, so every operation races against
+// eviction on all three LRU levels. The assertions are deliberately thin —
+// whatever a get returns must be a value some store put there — because the
+// race detector is the real check here: this pins the locking discipline
+// around lruMap, which is not concurrency-safe on its own.
+func TestPlanCacheConcurrentEvictionFault(t *testing.T) {
+	c := newPlanCache(2)
+	flows := make([]*dataflow.Flow, 8)
+	for i := range flows {
+		flows[i] = dataflow.NewFlow()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := (g + i) % 8
+				hash := fmt.Sprintf("h%d", k)
+				pk := planKey{hash: hash, tier: k % 3, dop: 2}
+				switch i % 5 {
+				case 0:
+					if got := c.storeFlow(hash, flows[k]); got != flows[k] {
+						t.Errorf("storeFlow(%s) returned a flow stored under another key", hash)
+					}
+				case 1:
+					if f, ok := c.flow(hash); ok && f != flows[k] {
+						t.Errorf("flow(%s) returned a flow stored under another key", hash)
+					}
+				case 2:
+					c.storePlan(pk, planEntry{cost: float64(k)})
+				case 3:
+					if e, ok := c.plan(pk); ok && e.cost != float64(k) {
+						t.Errorf("plan(%v) cost = %g, want %d", pk, e.cost, k)
+					}
+					c.peekCost(pk)
+				case 4:
+					c.storeDocKey(hash, hash)
+					if h, ok := c.docKey(hash); ok && h != hash {
+						t.Errorf("docKey(%s) = %s", hash, h)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.flows.len(); n > 2 {
+		t.Errorf("flow cache holds %d entries, capacity 2", n)
+	}
+	if n := c.plans.len(); n > 2 {
+		t.Errorf("plan cache holds %d entries, capacity 2", n)
+	}
+}
+
+// TestPlanCacheEvictionUnderConcurrentSubmit runs 8 goroutines submitting
+// five distinct documents through a scheduler whose plan cache holds only
+// two entries, so compilation, cache population, and eviction all race with
+// live submissions — and every job must still compute the right answer.
+func TestPlanCacheEvictionUnderConcurrentSubmit(t *testing.T) {
+	s := New(Config{MaxConcurrent: 4, DOP: 2, PlanCacheSize: 2})
+	defer s.Shutdown(context.Background())
+
+	doc := func(variant int) string {
+		return fmt.Sprintf(strings.Replace(wordcountDoc, `"key_cardinality": 3`,
+			`"key_cardinality": %d`, 1), variant+3)
+	}
+	want := map[string]int64{"a": 3, "b": 2, "c": 1}
+
+	const goroutines, perG = 8, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				spec, err := s.ParseScriptJob([]byte(doc((g + i) % 5)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				j, err := s.Submit(spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out, _, err := j.Wait(context.Background())
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, rec := range out {
+					if got := rec.Field(1).AsInt(); got != want[rec.Field(0).AsString()] {
+						errs <- fmt.Errorf("count[%q] = %d, want %d",
+							rec.Field(0).AsString(), got, want[rec.Field(0).AsString()])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	// Five distinct flow hashes through a two-entry cache: misses are
+	// guaranteed (evictions), and re-submissions of a still-resident
+	// variant should land some hits too.
+	if m.FlowCacheMisses <= 5 {
+		t.Errorf("flow cache misses = %d; want > 5 (evictions forcing recompiles)", m.FlowCacheMisses)
+	}
+	if m.FlowCacheHits == 0 {
+		t.Error("no flow cache hits at all across overlapping submissions")
 	}
 }

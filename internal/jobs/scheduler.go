@@ -30,13 +30,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/engine"
+	"blackboxflow/internal/faultfs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 )
@@ -113,6 +113,11 @@ type Config struct {
 	// is the optimizer's abstract total (the unit RankAllBudget sorts
 	// by). Zero disables cost-based backpressure.
 	MaxQueuedCost float64
+	// FS is the filesystem seam under the per-job spill directories and
+	// the pooled engines' spill files; nil means the real OS filesystem.
+	// Fault-injection harnesses install a faultfs.Injector here (see
+	// internal/faultfs and the chaos suite).
+	FS faultfs.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -437,9 +442,19 @@ func New(cfg Config) *Scheduler {
 		s.planCache = newPlanCache(cfg.PlanCacheSize)
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
-		s.pool <- engine.New(cfg.DOP)
+		eng := engine.New(cfg.DOP)
+		eng.FS = cfg.FS
+		s.pool <- eng
 	}
 	return s
+}
+
+// fs returns the scheduler's filesystem seam, defaulting to the real OS.
+func (s *Scheduler) fs() faultfs.FS {
+	if s.cfg.FS != nil {
+		return s.cfg.FS
+	}
+	return faultfs.OS{}
 }
 
 // tenant returns (creating if needed) the accounting entry for a tenant.
@@ -692,11 +707,11 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 	// cannot interleave its temp files with another job's, and removal on
 	// the way out guarantees a cancelled or failed job leaves nothing
 	// behind.
-	spillDir, err := os.MkdirTemp(s.cfg.SpillDir, "flowjob-*")
+	spillDir, err := s.fs().MkdirTemp(s.cfg.SpillDir, "flowjob-*")
 	if err != nil {
 		return nil, nil, fmt.Errorf("jobs: spill dir: %w", err)
 	}
-	defer os.RemoveAll(spillDir)
+	defer s.fs().RemoveAll(spillDir)
 
 	// Check out an engine; configure it for this job alone, and return it
 	// reset so no sources, budget, or spill state leaks to the next job.

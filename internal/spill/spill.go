@@ -20,8 +20,9 @@ package spill
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
+	"io"
 
+	"blackboxflow/internal/faultfs"
 	"blackboxflow/internal/record"
 )
 
@@ -37,32 +38,47 @@ type Run struct {
 
 // File is one producer's spill file holding consecutive runs.
 type File struct {
-	f    *os.File
+	fsys faultfs.FS
+	f    faultfs.File
 	path string
 	off  int64
 	buf  []byte // reused frame-encoding buffer
+	err  error  // first write error; sticky (see WriteRun)
 }
 
 // Create opens a fresh spill file in dir (the OS temp directory when dir is
-// empty).
+// empty) on the real filesystem.
 func Create(dir string) (*File, error) {
-	f, err := os.CreateTemp(dir, "blackboxflow-spill-*")
+	return CreateIn(faultfs.OS{}, dir)
+}
+
+// CreateIn opens a fresh spill file in dir through an injectable filesystem
+// — the seam the chaos suites use to fire disk faults at exact operation
+// indices (see internal/faultfs).
+func CreateIn(fsys faultfs.FS, dir string) (*File, error) {
+	f, err := fsys.CreateTemp(dir, "blackboxflow-spill-*")
 	if err != nil {
 		return nil, fmt.Errorf("spill: %w", err)
 	}
-	return &File{f: f, path: f.Name()}, nil
+	return &File{fsys: fsys, f: f, path: f.Name()}, nil
 }
 
-// Close closes and removes the file. Idempotent; readers opened from the
-// file must not be used afterwards.
+// Close closes and removes the file — including after a failed WriteRun:
+// a torn or doomed spill file must never outlive its File. Idempotent;
+// readers opened from the file must not be used afterwards. When a write
+// failed earlier, Close surfaces that first error, not the close or unlink
+// error that followed from it.
 func (s *File) Close() error {
 	if s.f == nil {
-		return nil
+		return s.err
 	}
 	err := s.f.Close()
 	s.f = nil
-	if rmErr := os.Remove(s.path); err == nil {
+	if rmErr := s.fsys.Remove(s.path); err == nil {
 		err = rmErr
+	}
+	if s.err != nil {
+		err = s.err
 	}
 	return err
 }
@@ -70,7 +86,15 @@ func (s *File) Close() error {
 // WriteRun appends one run to the file. The caller must pass records
 // already sorted in the run's intended order; WriteRun only frames and
 // writes them. The returned Run locates the data for OpenRun.
+//
+// A write failure is sticky: a frame that failed (or was torn by a short
+// write) leaves the file's cursor out of step with s.off, so any later run
+// would frame-shift every reader over it. Once a write fails, every
+// subsequent WriteRun returns that first error, and Close surfaces it too.
 func (s *File) WriteRun(recs []record.Record) (Run, error) {
+	if s.err != nil {
+		return Run{}, s.err
+	}
 	run := Run{Offset: s.off, Records: len(recs)}
 	for start := 0; start < len(recs); start += record.DefaultBatchCap {
 		end := start + record.DefaultBatchCap
@@ -84,8 +108,13 @@ func (s *File) WriteRun(recs []record.Record) (Run, error) {
 			s.buf = r.AppendEncoded(s.buf)
 		}
 		binary.LittleEndian.PutUint32(s.buf[4:], uint32(len(s.buf)-frameHeaderSize))
-		if _, err := s.f.Write(s.buf); err != nil {
-			return Run{}, fmt.Errorf("spill: write run: %w", err)
+		n, err := s.f.Write(s.buf)
+		if err == nil && n < len(s.buf) {
+			err = io.ErrShortWrite
+		}
+		if err != nil {
+			s.err = fmt.Errorf("spill: write run: %w", err)
+			return Run{}, s.err
 		}
 		s.off += int64(len(s.buf))
 	}

@@ -1,11 +1,15 @@
 package spill
 
 import (
+	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
+	"syscall"
 	"testing"
 
+	"blackboxflow/internal/faultfs"
 	"blackboxflow/internal/record"
 )
 
@@ -209,5 +213,88 @@ func TestCloseRemoves(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err == nil {
 		t.Fatalf("spill file %s still exists after Close", path)
+	}
+}
+
+// TestWriteRunShortWriteStickyAndUnlinks pins the writer's error contract
+// with an injected short write: the failed WriteRun surfaces the injected
+// error, every later WriteRun returns that same first error (a torn frame
+// desynchronizes the file cursor from the run offsets, so writing more runs
+// would frame-shift readers), and Close both surfaces the first error — not
+// whatever close or unlink returned afterwards — and still removes the temp
+// file.
+func TestWriteRunShortWriteStickyAndUnlinks(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(faultfs.OS{}, 2, faultfs.ShortWrite) // op 1 create, op 2 first frame write
+	f, err := CreateIn(inj, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = f.WriteRun(intRecs(3, 1, 2))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("WriteRun err = %v, want io.ErrShortWrite", err)
+	}
+	first := err
+
+	// The injector fires once, so this write would succeed on disk — the
+	// sticky error must refuse it anyway.
+	if _, err := f.WriteRun(intRecs(9)); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("WriteRun after failure err = %v, want the first error to stick", err)
+	}
+
+	if err := f.Close(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Close err = %v, want the first write error %v", err, first)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("torn spill file leaked: %v", ents)
+	}
+	// Idempotent close after failure keeps reporting the first error.
+	if err := f.Close(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("second Close err = %v, want the first write error", err)
+	}
+}
+
+// TestWriteRunENOSPCUnlinks: a plain failed write (no bytes persisted) also
+// sticks and unlinks.
+func TestWriteRunENOSPCUnlinks(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(faultfs.OS{}, 2, faultfs.ENOSPC)
+	f, err := CreateIn(inj, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteRun(intRecs(1, 2)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("WriteRun err = %v, want ENOSPC", err)
+	}
+	if err := f.Close(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Close err = %v, want ENOSPC", err)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("spill file leaked after ENOSPC: %v", ents)
+	}
+}
+
+// TestReadErrorSurfacesFromRunReader: an injected read fault propagates out
+// of RunReader.Next as an error (not a silent truncation).
+func TestReadErrorSurfacesFromRunReader(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(faultfs.OS{}, 3, faultfs.ReadErr) // create, write, then first read
+	f, err := CreateIn(inj, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	run, err := f.WriteRun(intRecs(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = f.OpenRun(run).Next()
+	if !errors.Is(err, faultfs.ErrInjectedRead) {
+		t.Fatalf("Next err = %v, want the injected read error", err)
 	}
 }
