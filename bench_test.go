@@ -536,17 +536,23 @@ func reduce wcount($g) {
 		}
 	}
 
+	// combined-row-path runs the identical combining plan on the retained
+	// row execution path (Engine.RowPath) — the same-machine, same-run
+	// baseline the columnar sender is measured against.
 	for _, mode := range []struct {
 		name       string
 		combinable bool
+		rowPath    bool
 	}{
-		{"combined", true},
-		{"no-combiner", false},
+		{"combined", true, false},
+		{"combined-row-path", true, true},
+		{"no-combiner", false, false},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			redNode.Combinable = mode.combinable
 			defer func() { redNode.Combinable = true }()
 			e := engine.New(8)
+			e.RowPath = mode.rowPath
 			e.AddSource("words", data)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -618,15 +624,20 @@ func reduce wcount($g) {
 		}
 	}
 
+	// spill-row-path runs the identical budgeted plan with the record-
+	// comparator run sort (Engine.RowPath) instead of the columnar sort.
 	for _, mode := range []struct {
-		name   string
-		budget int
+		name    string
+		budget  int
+		rowPath bool
 	}{
-		{"in-memory", 0},
-		{"spill", 256 << 10},
+		{"in-memory", 0, false},
+		{"spill", 256 << 10, false},
+		{"spill-row-path", 256 << 10, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			e := engine.New(8)
+			e.RowPath = mode.rowPath
 			e.MemoryBudget = mode.budget
 			e.SpillDir = b.TempDir()
 			e.AddSource("words", data)
@@ -722,15 +733,20 @@ func binary jn($l, $r) {
 		rData[i] = record.Record{record.Null, record.Null, record.String(fmt.Sprintf("key%06d", k)), record.Int(k)}
 	}
 
+	// spill-row-path: identical budgeted merge join with the record-
+	// comparator sorts (Engine.RowPath) instead of the columnar sort.
 	for _, mode := range []struct {
-		name   string
-		budget int
+		name    string
+		budget  int
+		rowPath bool
 	}{
-		{"in-memory", 0},
-		{"spill", 256 << 10},
+		{"in-memory", 0, false},
+		{"spill", 256 << 10, false},
+		{"spill-row-path", 256 << 10, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			e := engine.New(8)
+			e.RowPath = mode.rowPath
 			e.MemoryBudget = mode.budget
 			e.SpillDir = b.TempDir()
 			e.AddSource("L", lData)

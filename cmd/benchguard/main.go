@@ -110,6 +110,7 @@ func main() {
 	shufBatched := need("BenchmarkShuffle/batched")
 	shufLegacy := need("BenchmarkShuffle/per-record")
 	combOn := need("BenchmarkCombiner/combined")
+	combRow := need("BenchmarkCombiner/combined-row-path")
 	combOff := need("BenchmarkCombiner/no-combiner")
 	spillOn := need("BenchmarkSpill/spill")
 	spillOff := need("BenchmarkSpill/in-memory")
@@ -125,6 +126,7 @@ func main() {
 	fresh := map[string]float64{
 		"shuffle_throughput":             shufLegacy["ns/op"] / shufBatched["ns/op"],
 		"combiner_shipped_reduction":     combOff["shipped-B/op"] / combOn["shipped-B/op"],
+		"combiner_columnar_speedup":      combRow["ns/op"] / combOn["ns/op"],
 		"spill_runtime_overhead":         spillOn["ns/op"] / spillOff["ns/op"],
 		"spill_spilled_bytes":            spillOn["spilled-B/op"],
 		"spill_runs":                     spillOn["spill-runs/op"],
@@ -180,6 +182,11 @@ func main() {
 		fresh["shuffle_throughput"], false, 1)
 	check("combiner shipped-bytes ratio", "BENCH_combiner.json", "shipped_bytes_reduction",
 		fresh["combiner_shipped_reduction"], false, 1)
+	// Columnar-vs-row speedup of the combining sender: both modes run the
+	// same plan on the same host in the same process, so the ratio is pure
+	// code — a drop means the vectorized combine lost its advantage.
+	check("combiner columnar speedup", "BENCH_combiner.json", "columnar_vs_row_speedup",
+		fresh["combiner_columnar_speedup"], false, 1)
 	check("spill runtime overhead", "BENCH_spill.json", "runtime_overhead",
 		fresh["spill_runtime_overhead"], true, 2)
 	// The joinspill baseline sits near 1.0 (the external join restructures

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/tac"
+)
+
+// Allocation regressions for the columnar path: the column builders must
+// not box values per record at steady state, the vectorized combine must
+// allocate proportionally to group count (not record count), and the
+// reusable MapRunner must stay within the clone-per-emit floor.
+
+// TestColBatchAppendAllocRegression pins the column builders: once the
+// per-column arrays have grown to capacity, re-filling a reset ColBatch —
+// including dictionary hits on recurring strings — allocates nothing per
+// record.
+func TestColBatchAppendAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under -race; allocation counts are not meaningful")
+	}
+	const n = 512
+	recs := make([]record.Record, n)
+	words := []string{"alpha", "beta", "gamma"}
+	for i := range recs {
+		recs[i] = record.Record{
+			record.Int(int64(i % 19)),
+			record.String(words[i%len(words)]),
+			record.Float(float64(i) + 0.5),
+		}
+	}
+	cb := record.NewColBatch(n)
+	for _, r := range recs { // grow arrays and the dictionary once
+		cb.Append(r)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		cb.Reset()
+		for _, r := range recs {
+			cb.Append(r)
+		}
+	})
+	t.Logf("allocs per refill of %d records: %.0f", n, allocs)
+	if allocs > float64(n)/50 {
+		t.Errorf("steady-state ColBatch refill allocates %.0f times for %d records — the builders are boxing per record", allocs, n)
+	}
+}
+
+// TestColBatchCombineIntoAllocRegression pins the vectorized combine: with
+// the combiner's own output held constant, CombineInto over n records in g
+// groups must allocate on the order of g (bucket rows, group views), never
+// n (per-record boxes or re-hashed keys).
+func TestColBatchCombineIntoAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under -race; allocation counts are not meaningful")
+	}
+	const (
+		n      = 1024
+		groups = 16
+	)
+	keys := []int{0}
+	cb := record.NewColBatch(n)
+	for i := 0; i < n; i++ {
+		r := record.Record{record.Int(int64(i % groups)), record.Int(int64(i))}
+		cb.AppendWithHash(r, keys, r.Hash(keys))
+	}
+	combined := []record.Record{{record.Int(0), record.Int(0)}}
+	out := record.NewBatch(n)
+	allocs := testing.AllocsPerRun(10, func() {
+		out.Reset()
+		if _, err := cb.CombineInto(keys, out, func(g record.ColGroup) ([]record.Record, error) {
+			return combined, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs per CombineInto of %d records in %d groups: %.0f", n, groups, allocs)
+	if allocs > float64(n)/8 {
+		t.Errorf("CombineInto allocates %.0f times for %d records in %d groups — scaling with records, not groups", allocs, n, groups)
+	}
+}
+
+// TestMapRunnerAllocRegression pins the vectorized Map entry point: the
+// reusable frame keeps Invoke at the clone-per-emit floor, strictly below
+// the per-invocation InvokeMap path it replaces in the fused chain.
+func TestMapRunnerAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under -race; allocation counts are not meaningful")
+	}
+	prog := tac.MustParse(`
+func map double($ir) {
+	$a := getfield $ir 0
+	$d := $a * 2
+	$or := copyrec $ir
+	setfield $or 0 $d
+	emit $or
+}`)
+	fn, _ := prog.Lookup("double")
+	ip := tac.NewInterp()
+	runner, err := ip.NewMapRunner(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := record.Record{record.Int(21), record.String("x")}
+	sink := func(r record.Record) error { return nil }
+
+	invoke := testing.AllocsPerRun(200, func() {
+		if err := runner.Invoke(in, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	legacy := testing.AllocsPerRun(200, func() {
+		if _, err := ip.InvokeMap(fn, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs per record: MapRunner.Invoke=%.1f, InvokeMap=%.1f", invoke, legacy)
+	if invoke >= legacy {
+		t.Errorf("MapRunner.Invoke allocates %.1f per record, not below InvokeMap's %.1f", invoke, legacy)
+	}
+	// copyrec + the emitted clone: the UDF's own output costs ~3
+	// allocations; the runner must add none.
+	if invoke > 3 {
+		t.Errorf("MapRunner.Invoke allocates %.1f per record; the reusable frame should keep it at the UDF's own output cost (≤3)", invoke)
+	}
+}

@@ -136,12 +136,20 @@ func (e *Engine) combineShuffle(ctx context.Context, in Partitioned, chain []*op
 	}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)
-	acc := make([]*record.Batch, len(in)*dop)
 	counts := make([]combineCounts, len(in))
 	errs := make([]error, len(in))
-	for si, part := range in {
-		counts[si].chain = make([]opCount, len(chain))
-		go e.combineSend(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
+	if e.RowPath {
+		acc := make([]*record.Batch, len(in)*dop)
+		for si, part := range in {
+			counts[si].chain = make([]opCount, len(chain))
+			go e.combineSend(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
+		}
+	} else {
+		acc := make([]*record.ColBatch, len(in)*dop)
+		for si, part := range in {
+			counts[si].chain = make([]opCount, len(chain))
+			go e.combineSendCols(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
+		}
 	}
 	// Combined partition sizes depend on the key distribution, unknowable
 	// here; start small and let append growth track the actual volume.
@@ -250,4 +258,92 @@ func (e *Engine) combineSend(ctx context.Context, st *shuffleState, acc []*recor
 		}
 	}
 	st.bytes.Add(int64(local))
+}
+
+// combineSendCols is the columnar sender: same topology and flush policy as
+// combineSend, but records accumulate into per-target ColBatches — typed
+// column arrays with dictionary-coded strings — and the routing hash is
+// computed once and cached per row, so the grouping pass inside CombineInto
+// never re-hashes. The combined output is flushed into a fresh pooled
+// record.Batch, keeping the channel transport and the collectors identical
+// to the row path (byte-identical shuffle, pinned by the differential
+// suite).
+func (e *Engine) combineSendCols(ctx context.Context, st *shuffleState, acc []*record.ColBatch, part []record.Record, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int, c *combineCounts, errOut *error) {
+	defer st.senders.Done()
+	dop := uint64(len(st.chans))
+	local := 0
+
+	flush := func(t int, cb *record.ColBatch) error {
+		out := record.GetBatch()
+		calls, err := cb.CombineInto(keys, out, func(g record.ColGroup) ([]record.Record, error) {
+			return e.interp.InvokeReduceSource(op.Combiner, g)
+		})
+		record.PutColBatch(cb)
+		if err != nil {
+			record.PutBatch(out)
+			return fmt.Errorf("engine: %s combiner: %w", op.Name, err)
+		}
+		c.combinerCalls += calls
+		local += out.EncodedSize()
+		st.chans[t] <- out
+		return nil
+	}
+	route := func(r record.Record) error {
+		c.combineIn++
+		h := r.Hash(keys)
+		t := int(h % dop)
+		cb := acc[t]
+		if cb == nil {
+			cb = record.GetColBatch()
+			acc[t] = cb
+		}
+		if cb.AppendWithHash(r, keys, h) {
+			acc[t] = nil
+			return flush(t, cb)
+		}
+		return nil
+	}
+	fail := func(err error) {
+		*errOut = err
+		dropColBatches(acc)
+	}
+	feed, err := e.chainFeed(chain, c.chain, route)
+	if err != nil {
+		fail(err)
+		return
+	}
+	var tick ticker
+	for _, r := range part {
+		if tick.due() && context.Cause(ctx) != nil {
+			fail(context.Cause(ctx))
+			st.bytes.Add(int64(local))
+			return
+		}
+		if err := feed(r); err != nil {
+			fail(err)
+			st.bytes.Add(int64(local))
+			return
+		}
+	}
+	for t, cb := range acc {
+		if cb != nil {
+			acc[t] = nil
+			if err := flush(t, cb); err != nil {
+				fail(err)
+				break
+			}
+		}
+	}
+	st.bytes.Add(int64(local))
+}
+
+// dropColBatches returns a failed sender's accumulated ColBatches to the
+// pool, mirroring dropBatches on the row path.
+func dropColBatches(acc []*record.ColBatch) {
+	for t, cb := range acc {
+		if cb != nil {
+			acc[t] = nil
+			record.PutColBatch(cb)
+		}
+	}
 }

@@ -184,6 +184,20 @@ type Engine struct {
 	// what a baseline should do.
 	LegacyShuffle bool
 
+	// RowPath routes operator internals through the pre-columnar row-at-a-
+	// time implementations: per-invocation interpreter frames in fused Map
+	// chains, record.Batch.Combine in the combining senders, and the
+	// record-comparator sorts in the spill and merge-join paths. The default
+	// (false) uses the columnar/vectorized implementations: reusable
+	// emit-callback map runners, record.ColBatch accumulation with cached
+	// key hashes and column-wise grouping, and decorated column-vector sort
+	// keys. Both paths produce byte-identical output — pinned by the
+	// row/column differential suite at DOP {1,2,8,17} — and the flag exists
+	// for exactly that comparison; it is compatibility scaffolding for one
+	// release while the differential suite burns in, after which the row
+	// path is retired.
+	RowPath bool
+
 	// MemoryBudget caps the resident bytes (record wire encoding, the same
 	// unit as ShippedBytes) that shuffle receivers feeding a grouping or
 	// join operator (Reduce, CoGroup, Match) may buffer, summed across the
@@ -585,6 +599,50 @@ func (e *Engine) chainEmit(chain []*optimizer.PhysPlan, c []opCount, level int, 
 	return nil
 }
 
+// chainFeed builds one goroutine's entry point into the fused Map chain,
+// honoring Engine.RowPath: the row path closes over the per-record chainEmit
+// recursion (a fresh interpreter frame and output slice per invocation); the
+// vectorized path pre-builds one reusable MapRunner and one emit closure per
+// chain level, so the steady-state loop allocates nothing per record beyond
+// the records the UDFs emit. Both feeds tally identical per-level counts and
+// cascade into the same sink, and UDF errors carry the same operator-name
+// wrapping (sink errors pass through unwrapped in both), so the two paths
+// are observationally identical — the property the differential suite pins.
+func (e *Engine) chainFeed(chain []*optimizer.PhysPlan, c []opCount, sink func(record.Record) error) (func(record.Record) error, error) {
+	if e.RowPath {
+		return func(r record.Record) error {
+			return e.chainEmit(chain, c, 0, r, sink)
+		}, nil
+	}
+	feed := sink
+	for level := len(chain) - 1; level >= 0; level-- {
+		op := chain[level].Op
+		runner, err := e.interp.NewMapRunner(op.UDF)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", op.Name, err)
+		}
+		next := feed
+		cl := &c[level]
+		name := op.Name
+		onEmit := func(r record.Record) error {
+			cl.out++
+			return next(r)
+		}
+		feed = func(r record.Record) error {
+			cl.in++
+			cl.calls++
+			if err := runner.Invoke(r, onEmit); err != nil {
+				if inner, ok := tac.AsEmitError(err); ok {
+					return inner
+				}
+				return fmt.Errorf("engine: %s: %w", name, err)
+			}
+			return nil
+		}
+	}
+	return feed, nil
+}
+
 // execChain executes a maximal run of chained Map operators (p is the
 // topmost) fused into a single per-partition loop. Records flow through the
 // whole chain one at a time; only the final output is materialized, so a
@@ -614,13 +672,18 @@ func (e *Engine) execChain(ctx context.Context, p *optimizer.PhysPlan, stats *Ru
 				out[i] = append(out[i], r)
 				return nil
 			}
+			feed, err := e.chainFeed(chain, c, sink)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			var tick ticker
 			for _, r := range base[i] {
 				if tick.due() && context.Cause(ctx) != nil {
 					errs[i] = context.Cause(ctx)
 					return
 				}
-				if errs[i] = e.chainEmit(chain, c, 0, r, sink); errs[i] != nil {
+				if errs[i] = feed(r); errs[i] != nil {
 					return
 				}
 			}
@@ -824,8 +887,8 @@ func (e *Engine) joinPartition(ctx context.Context, p *optimizer.PhysPlan, l, r 
 	lKeys, rKeys := op.Keys[0], op.Keys[1]
 	var lc, rc groupCursor
 	if p.Local == optimizer.LocalMergeJoin {
-		sortByKey(l, lKeys)
-		sortByKey(r, rKeys)
+		e.sortRecs(l, lKeys)
+		e.sortRecs(r, rKeys)
 		lc = &sortedGroupCursor{recs: l, keys: lKeys}
 		rc = &sortedGroupCursor{recs: r, keys: rKeys}
 	} else { // LocalHashJoin (BuildSide only steers the cost model now)

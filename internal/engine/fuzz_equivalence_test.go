@@ -286,6 +286,26 @@ func TestRandomPipelinesTinyBudgetEquivalent(t *testing.T) {
 				}
 			}
 
+			// The same plan on the row execution path — unbudgeted and under
+			// the tiny budget — must be byte-identical to the columnar runs
+			// above, extending the sweep into a row/column differential.
+			e.RowPath = true
+			e.MemoryBudget = 0
+			rowUnlimited, _, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s (row path): %v", trial, a, err)
+			}
+			e.MemoryBudget = 96 * e.DOP
+			rowBudgeted, _, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s (row path, budgeted): %v", trial, a, err)
+			}
+			e.RowPath = false
+			requireByteIdentical(t, rowUnlimited, unlimited,
+				fmt.Sprintf("trial %d plan %s row vs columnar", trial, a))
+			requireByteIdentical(t, rowBudgeted, budgeted,
+				fmt.Sprintf("trial %d plan %s row vs columnar (budgeted)", trial, a))
+
 			if i == 0 {
 				ref = budgeted
 				continue
@@ -514,6 +534,17 @@ func reduce agg($g) {
 						trial, a, j, budgeted[j], unlimited[j], src)
 				}
 			}
+
+			// Row-path differential: the budgeted join (external merges and
+			// in-memory joins alike) must be byte-identical on both paths.
+			e.RowPath = true
+			rowBudgeted, _, err := e.Run(phys)
+			if err != nil {
+				t.Fatalf("trial %d plan %s (row path, budgeted): %v", trial, a, err)
+			}
+			e.RowPath = false
+			requireByteIdentical(t, rowBudgeted, budgeted,
+				fmt.Sprintf("trial %d plan %s row vs columnar (budgeted)", trial, a))
 
 			if i == 0 {
 				ref = budgeted

@@ -269,7 +269,7 @@ func (e *Engine) spillCollect(ctx context.Context, st *shuffleState, out Partiti
 		if resident <= max(budget, maxBatch) || len(buf) == 0 {
 			continue
 		}
-		sortByKey(buf, keys)
+		e.sortRecs(buf, keys)
 		if sp.file == nil {
 			if sp.file, sp.err = spill.CreateIn(e.fs(), e.SpillDir); sp.err != nil {
 				continue
@@ -319,7 +319,7 @@ func (e *Engine) reduceMerged(ctx context.Context, op *dataflow.Operator, reside
 	for _, run := range sp.runs {
 		cursors = append(cursors, sp.file.OpenRun(run))
 	}
-	sortByKey(resident, keys)
+	e.sortRecs(resident, keys)
 	cursors = append(cursors, spill.NewSliceCursor(resident))
 	cmp := func(a, b record.Record) int { return a.CompareOn(b, keys) }
 	m, err := spill.NewMerger(cursors, cmp)
@@ -444,7 +444,7 @@ func (e *Engine) sideGroups(part []record.Record, sp *partitionSpill, keys []int
 	for _, run := range sp.runs {
 		cursors = append(cursors, sp.file.OpenRun(run))
 	}
-	sortByKey(part, keys)
+	e.sortRecs(part, keys)
 	cursors = append(cursors, spill.NewSliceCursor(part))
 	m, err := spill.NewMerger(cursors, func(a, b record.Record) int { return a.CompareOn(b, keys) })
 	if err != nil {

@@ -1,0 +1,203 @@
+package record
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// encodeAll is the row-codec rendering of a record slice — the byte string
+// every columnar round-trip must reproduce exactly.
+func encodeAll(recs []Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = r.AppendEncoded(buf)
+	}
+	return buf
+}
+
+// randomRecordForBatch draws records with ragged arities and every kind,
+// plus the dictionary-relevant regimes: heavy string repetition (colliding
+// codes), all-null columns, and empty records.
+func randomRecordForBatch(rng *rand.Rand) Record {
+	r := make(Record, rng.Intn(6))
+	for j := range r {
+		switch {
+		case j == 2: // field 2, when present, is always null: an all-null column
+			r[j] = Null
+		case rng.Intn(3) == 0:
+			words := []string{"tok", "tok", "alpha", "beta", ""}
+			r[j] = String(words[rng.Intn(len(words))])
+		default:
+			r[j] = randomValue(rng)
+		}
+	}
+	return r
+}
+
+// TestColBatchRoundTrip is the property test of the columnar flip: random
+// batches → columnar → row view → columnar again is lossless, with the wire
+// encoding byte-identical at every step and the running EncodedSize in
+// agreement with the row codec.
+func TestColBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(40)
+		if trial == 0 {
+			n = 0 // empty batch
+		}
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randomRecordForBatch(rng)
+		}
+		want := encodeAll(recs)
+
+		cb := NewColBatch(DefaultBatchCap)
+		for _, r := range recs {
+			cb.Append(r)
+		}
+		if cb.Len() != n {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, cb.Len(), n)
+		}
+		if cb.EncodedSize() != len(want) {
+			t.Fatalf("trial %d: EncodedSize = %d, want %d", trial, cb.EncodedSize(), len(want))
+		}
+		if got := cb.AppendEncoded(nil); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: columnar encoding diverges from row codec\n got %x\nwant %x", trial, got, want)
+		}
+
+		// Row view: materialized rows must encode identically (which pins
+		// kind, payload, and arity — stronger than Value.Equal, which
+		// conflates Int(2) and Float(2)).
+		rows := cb.Rows()
+		if !bytes.Equal(encodeAll(rows), want) {
+			t.Fatalf("trial %d: row view re-encoding diverges", trial)
+		}
+
+		// Columnar again from the materialized rows.
+		cb2 := NewColBatch(DefaultBatchCap)
+		for _, r := range rows {
+			cb2.Append(r)
+		}
+		if got := cb2.AppendEncoded(nil); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: second columnar pass diverges", trial)
+		}
+
+		// Field accessor vs Record.Field across the whole rectangle,
+		// including columns past a row's arity.
+		for i, r := range recs {
+			for f := -1; f <= cb.Width(); f++ {
+				got, want := cb.Field(i, f), r.Field(f)
+				same := got.Kind() == want.Kind()
+				if same {
+					if got.Kind() == KindFloat {
+						// Bit equality, so NaN payloads and -0.0 round-trip.
+						same = math.Float64bits(got.AsFloat()) == math.Float64bits(want.AsFloat())
+					} else {
+						same = got.Equal(want)
+					}
+				}
+				if !same {
+					t.Fatalf("trial %d: Field(%d,%d) = %v, want %v", trial, i, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestColBatchResetReuse pins pooled reuse: a reset batch refilled with
+// different strings must rebuild its dictionary from scratch (codes restart
+// at zero) and reproduce the row codec exactly.
+func TestColBatchResetReuse(t *testing.T) {
+	cb := GetColBatch()
+	defer PutColBatch(cb)
+	first := []Record{{String("aa"), Int(1)}, {String("bb"), Int(2)}, {String("aa"), Int(3)}}
+	for _, r := range first {
+		cb.Append(r)
+	}
+	cb.Reset()
+	if cb.Len() != 0 || cb.EncodedSize() != 0 {
+		t.Fatalf("Reset left Len=%d bytes=%d", cb.Len(), cb.EncodedSize())
+	}
+	second := []Record{{String("cc")}, {String("cc"), Bool(true), Float(1.5)}}
+	for _, r := range second {
+		cb.Append(r)
+	}
+	if got, want := cb.AppendEncoded(nil), encodeAll(second); !bytes.Equal(got, want) {
+		t.Fatalf("post-Reset encoding diverges\n got %x\nwant %x", got, want)
+	}
+	if len(cb.dict) != 1 {
+		t.Fatalf("dictionary not rebuilt: %v", cb.dict)
+	}
+}
+
+// TestColBatchCombineMatchesBatch is the differential core of the vectorized
+// combiner: CombineInto over cached routing hashes must produce exactly the
+// groups — same order, same members — and the same combined output as the
+// row-path Batch.Combine, for keys with dictionary collisions, nulls, and
+// cross-kind numeric equality.
+func TestColBatchCombineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := []int{0, 1}
+	sum := func(group []Record) ([]Record, error) {
+		var s int64
+		for _, r := range group {
+			s += r.Field(2).AsInt()
+		}
+		return []Record{{group[0].Field(0), group[0].Field(1), Int(s)}}, nil
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		recs := make([]Record, n)
+		for i := range recs {
+			var k0 Value
+			switch rng.Intn(4) {
+			case 0:
+				k0 = String([]string{"x", "y", "z"}[rng.Intn(3)])
+			case 1:
+				k0 = Int(int64(rng.Intn(3)))
+			case 2:
+				k0 = Float(float64(rng.Intn(3))) // collides with Int under Equal
+			default:
+				k0 = Null
+			}
+			recs[i] = Record{k0, Int(int64(rng.Intn(2))), Int(int64(rng.Intn(100)))}
+		}
+
+		rb := NewBatch(DefaultBatchCap)
+		for _, r := range recs {
+			rb.Append(r)
+		}
+		wantGroups, err := rb.Combine(keys, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cb := NewColBatch(DefaultBatchCap)
+		for _, r := range recs {
+			cb.AppendWithHash(r, keys, r.Hash(keys))
+		}
+		out := NewBatch(DefaultBatchCap)
+		gotGroups, err := cb.CombineInto(keys, out, func(g ColGroup) ([]Record, error) {
+			rows := make([]Record, g.Len())
+			for i := range rows {
+				rows[i] = g.At(i)
+			}
+			return sum(rows)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotGroups != wantGroups {
+			t.Fatalf("trial %d: %d groups, row path %d", trial, gotGroups, wantGroups)
+		}
+		got, want := encodeAll(out.Records()), encodeAll(rb.Records())
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: combined output diverges\n got %x\nwant %x", trial, got, want)
+		}
+		if out.EncodedSize() != rb.EncodedSize() {
+			t.Fatalf("trial %d: combined EncodedSize %d vs %d", trial, out.EncodedSize(), rb.EncodedSize())
+		}
+	}
+}

@@ -18,7 +18,6 @@
 package record
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -252,46 +251,70 @@ func boolCompare(a, b bool) int {
 	}
 }
 
+// hashOffset and hashPrime are the FNV-1a parameters every engine hash is
+// built from (value hashes, record hashes, and the hash caches ColBatch
+// carries for the combining senders).
+const (
+	hashOffset uint64 = 14695981039346656037
+	hashPrime  uint64 = 1099511628211
+)
+
+// hashMix8 folds the eight little-endian bytes of x into h one byte at a
+// time — the unrolled equivalent of the byte loop this function used before
+// vectorization, so hash values (and therefore shuffle routing and canonical
+// output order) are bit-for-bit unchanged while the per-byte closure call
+// and the encode buffer disappear from the hottest loop in the engine.
+// hashTagSeed mixes the kind tag into a fresh hash state — the first byte
+// every value hash folds in. A function (not a constant expression) so the
+// deliberately overflowing FNV multiply happens in wrapping uint64
+// arithmetic.
+func hashTagSeed(k Kind) uint64 {
+	h := hashOffset ^ uint64(k)
+	return h * hashPrime
+}
+
+func hashMix8(h, x uint64) uint64 {
+	h = (h ^ (x & 0xff)) * hashPrime
+	h = (h ^ (x >> 8 & 0xff)) * hashPrime
+	h = (h ^ (x >> 16 & 0xff)) * hashPrime
+	h = (h ^ (x >> 24 & 0xff)) * hashPrime
+	h = (h ^ (x >> 32 & 0xff)) * hashPrime
+	h = (h ^ (x >> 40 & 0xff)) * hashPrime
+	h = (h ^ (x >> 48 & 0xff)) * hashPrime
+	h = (h ^ (x >> 56 & 0xff)) * hashPrime
+	return h
+}
+
 // Hash folds the value into a 64-bit FNV-1a style hash, used by hash
-// partitioning and hash joins.
+// partitioning and hash joins. The byte sequence hashed is exactly the kind
+// tag followed by the little-endian payload, matching the pre-columnar
+// implementation byte for byte (see TestValueHashMatchesReference).
 func (v Value) Hash() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
-	mix(byte(v.kind))
 	switch v.kind {
 	case KindInt:
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(v.i))
-		for _, b := range buf {
-			mix(b)
-		}
+		return hashMix8(hashTagSeed(KindInt), uint64(v.i))
 	case KindFloat:
 		// Hash floats by numeric identity with ints when integral, so that
 		// Equal values hash equally.
 		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
-			return Int(int64(v.f)).Hash()
+			return hashMix8(hashTagSeed(KindInt), uint64(int64(v.f)))
 		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
-		for _, b := range buf {
-			mix(b)
-		}
+		return hashMix8(hashTagSeed(KindFloat), math.Float64bits(v.f))
 	case KindString:
+		h := hashTagSeed(KindString)
 		for i := 0; i < len(v.s); i++ {
-			mix(v.s[i])
+			h = (h ^ uint64(v.s[i])) * hashPrime
 		}
+		return h
 	case KindBool:
+		h := hashTagSeed(KindBool)
 		if v.b {
-			mix(1)
-		} else {
-			mix(0)
+			return (h ^ 1) * hashPrime
 		}
+		return h * hashPrime
+	default:
+		return hashTagSeed(KindNull)
 	}
-	return h
 }
 
 // EncodedSize returns the number of bytes the value would occupy in the
@@ -414,16 +437,15 @@ func (r Record) Project(fields []int) Record {
 // Hash combines the hashes of the fields at the given indices. With a nil
 // slice it hashes all fields.
 func (r Record) Hash(fields []int) uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
+	h := hashOffset
 	if fields == nil {
 		for _, v := range r {
-			h = (h*prime ^ v.Hash())
+			h = (h*hashPrime ^ v.Hash())
 		}
 		return h
 	}
 	for _, f := range fields {
-		h = (h*prime ^ r.Field(f).Hash())
+		h = (h*hashPrime ^ r.Field(f).Hash())
 	}
 	return h
 }

@@ -20,12 +20,35 @@ const (
 	rtGroup
 )
 
+// GroupSource is the interpreter's view of one key group. The group
+// operations need only three capabilities — the group's size, cell access
+// for aggregation, and row materialization for OpGroupGet — so a columnar
+// execution layer can hand the interpreter a view over its column arrays
+// (record.ColGroup) and OpAgg walks the columns directly: no Record is
+// boxed per group member, only the rows the UDF explicitly asks for.
+// Materialized []record.Record groups adapt via recordsSource.
+type GroupSource interface {
+	// Len returns the number of records in the group.
+	Len() int
+	// At materializes the i-th record (arrival order within the group).
+	At(i int) record.Record
+	// Field returns field f of the i-th record without materializing it.
+	Field(i, f int) record.Value
+}
+
+// recordsSource adapts a materialized row group to GroupSource.
+type recordsSource []record.Record
+
+func (g recordsSource) Len() int                    { return len(g) }
+func (g recordsSource) At(i int) record.Record      { return g[i] }
+func (g recordsSource) Field(i, f int) record.Value { return g[i].Field(f) }
+
 // rtVal is a runtime value: a scalar, a (mutable) record, or a key group.
 type rtVal struct {
 	kind rtKind
 	s    record.Value
 	rec  record.Record
-	grp  []record.Record
+	grp  GroupSource
 }
 
 // Interp executes TAC functions. The zero value is not usable; construct
@@ -69,6 +92,55 @@ func (ip *Interp) InvokeMap(f *Func, in record.Record) ([]record.Record, error) 
 	return ip.run(f, fr)
 }
 
+// MapRunner is the allocation-free invocation path for map UDFs in hot
+// fused loops: it owns one frame, reused across invocations, and emits
+// output records through a caller-supplied callback instead of collecting
+// them into a fresh slice — so a steady-state invocation allocates nothing
+// beyond the records the UDF itself emits. A MapRunner is not safe for
+// concurrent use; the engine builds one per goroutine per chain level.
+type MapRunner struct {
+	ip *Interp
+	f  *Func
+	fr *frame
+}
+
+// NewMapRunner returns a reusable runner for a map-kind UDF.
+func (ip *Interp) NewMapRunner(f *Func) (*MapRunner, error) {
+	if f.Kind != KindMap {
+		return nil, fmt.Errorf("tac: %s is not a map function", f.Name)
+	}
+	return &MapRunner{ip: ip, f: f, fr: newFrame(f)}, nil
+}
+
+// Invoke runs the UDF on one record, calling emit for every output record
+// (already cloned; the callback may retain it). An error returned by emit
+// aborts the invocation and is reported verbatim — distinguish it from a
+// UDF error with AsEmitError.
+func (mr *MapRunner) Invoke(in record.Record, emit func(record.Record) error) error {
+	fr := mr.fr
+	clear(fr.vals) // drop record/group references from the previous call
+	clear(fr.set)
+	fr.def(0, rtVal{kind: rtRecord, rec: in})
+	return mr.ip.runEmit(mr.f, fr, emit)
+}
+
+// emitError wraps an error returned by an emit callback so callers can tell
+// sink failures (already wrapped by whoever produced them) from UDF
+// failures (which the engine wraps with the operator name).
+type emitError struct{ err error }
+
+func (e emitError) Error() string { return e.err.Error() }
+func (e emitError) Unwrap() error { return e.err }
+
+// AsEmitError unwraps an error produced by an emit callback, reporting
+// whether err was one.
+func AsEmitError(err error) (error, bool) {
+	if ee, ok := err.(emitError); ok {
+		return ee.err, true
+	}
+	return nil, false
+}
+
 // InvokeBinary runs a binary (Cross/Match) UDF on a pair of records.
 func (ip *Interp) InvokeBinary(f *Func, left, right record.Record) ([]record.Record, error) {
 	if f.Kind != KindBinary {
@@ -82,6 +154,13 @@ func (ip *Interp) InvokeBinary(f *Func, left, right record.Record) ([]record.Rec
 
 // InvokeReduce runs a reduce-kind UDF on one key group.
 func (ip *Interp) InvokeReduce(f *Func, group []record.Record) ([]record.Record, error) {
+	return ip.InvokeReduceSource(f, recordsSource(group))
+}
+
+// InvokeReduceSource runs a reduce-kind UDF on a group view — the columnar
+// entry point: aggregation opcodes read cells through the source, so a
+// ColGroup-backed group aggregates without materializing its rows.
+func (ip *Interp) InvokeReduceSource(f *Func, group GroupSource) ([]record.Record, error) {
 	if f.Kind != KindReduce {
 		return nil, fmt.Errorf("tac: %s is not a reduce function", f.Name)
 	}
@@ -97,25 +176,38 @@ func (ip *Interp) InvokeCoGroup(f *Func, left, right []record.Record) ([]record.
 		return nil, fmt.Errorf("tac: %s is not a cogroup function", f.Name)
 	}
 	fr := newFrame(f)
-	fr.def(0, rtVal{kind: rtGroup, grp: left})
-	fr.def(1, rtVal{kind: rtGroup, grp: right})
+	fr.def(0, rtVal{kind: rtGroup, grp: recordsSource(left)})
+	fr.def(1, rtVal{kind: rtGroup, grp: recordsSource(right)})
 	return ip.run(f, fr)
 }
 
+// run executes f collecting emitted records into a slice — the materializing
+// wrapper over runEmit the one-shot Invoke entry points use.
 func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
 	var out []record.Record
+	if err := ip.runEmit(f, fr, func(r record.Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runEmit executes f, passing every emitted record (already cloned) to emit.
+func (ip *Interp) runEmit(f *Func, fr *frame, emit func(record.Record) error) error {
 	pc := 0
 	steps := 0
 	body := f.Body
 	for pc < len(body) {
 		steps++
 		if steps > ip.stepLimit {
-			return nil, fmt.Errorf("tac: %s exceeded step limit %d", f.Name, ip.stepLimit)
+			return fmt.Errorf("tac: %s exceeded step limit %d", f.Name, ip.stepLimit)
 		}
 		in := body[pc]
 		switch in.Op {
 		case OpReturn:
-			return out, nil
+			return nil
 
 		case OpConst:
 			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: in.A.Imm})
@@ -123,46 +215,46 @@ func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
 		case OpAssign:
 			v, err := fr.scalar(in.A, in.aSlot, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
 
 		case OpBin:
 			a, err := fr.scalar(in.A, in.aSlot, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			b, err := fr.scalar(in.B, in.bSlot, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			v, err := evalBin(in.Bin, a, b)
 			if err != nil {
-				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+				return fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
 			}
 			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
 
 		case OpUn:
 			a, err := fr.scalar(in.A, in.aSlot, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			v, err := evalUn(in.Un, a)
 			if err != nil {
-				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+				return fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
 			}
 			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
 
 		case OpGetField:
 			r, err := fr.rec(in.recSlot, in.Rec, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			idx := in.Field
 			if in.FieldVar {
 				iv, err := fr.scalar(in.A, in.aSlot, in)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				idx = int(iv.AsInt())
 			}
@@ -170,11 +262,11 @@ func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
 
 		case OpSetField:
 			if !fr.set[in.recSlot] || fr.vals[in.recSlot].kind != rtRecord {
-				return nil, fmt.Errorf("tac: %s instr %d: %s is not a record", f.Name, in.pos, in.Rec)
+				return fmt.Errorf("tac: %s instr %d: %s is not a record", f.Name, in.pos, in.Rec)
 			}
 			v, err := fr.scalar(in.A, in.aSlot, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rv := fr.vals[in.recSlot]
 			if in.Field >= len(rv.rec) {
@@ -191,27 +283,29 @@ func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
 		case OpCopyRec:
 			r, err := fr.rec(in.recSlot, in.Rec, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: r.Clone()})
 
 		case OpConcatRec:
 			r1, err := fr.rec(in.recSlot, in.Rec, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			r2, err := fr.rec(in.rec2Slot, in.Rec2, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: r1.Merge(r2)})
 
 		case OpEmit:
 			r, err := fr.rec(in.recSlot, in.Rec, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out = append(out, r.Clone())
+			if err := emit(r.Clone()); err != nil {
+				return emitError{err: err}
+			}
 
 		case OpGoto:
 			pc = in.target
@@ -220,7 +314,7 @@ func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
 		case OpIf:
 			take, err := fr.cond(in)
 			if err != nil {
-				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+				return fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
 			}
 			if take {
 				pc = in.target
@@ -230,42 +324,42 @@ func (ip *Interp) run(f *Func, fr *frame) ([]record.Record, error) {
 		case OpGroupSize:
 			g, err := fr.grp(in.groupSlot, in.Group, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: record.Int(int64(len(g)))})
+			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: record.Int(int64(g.Len()))})
 
 		case OpGroupGet:
 			g, err := fr.grp(in.groupSlot, in.Group, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			iv, err := fr.scalar(in.A, in.aSlot, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			i := int(iv.AsInt())
-			if i < 0 || i >= len(g) {
-				return nil, fmt.Errorf("tac: %s instr %d: groupget index %d out of range [0,%d)", f.Name, in.pos, i, len(g))
+			if i < 0 || i >= g.Len() {
+				return fmt.Errorf("tac: %s instr %d: groupget index %d out of range [0,%d)", f.Name, in.pos, i, g.Len())
 			}
-			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: g[i]})
+			fr.def(in.dstSlot, rtVal{kind: rtRecord, rec: g.At(i)})
 
 		case OpAgg:
 			g, err := fr.grp(in.groupSlot, in.Group, in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			v, err := evalAgg(in.Agg, g, in.Field)
 			if err != nil {
-				return nil, fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
+				return fmt.Errorf("tac: %s instr %d: %w", f.Name, in.pos, err)
 			}
 			fr.def(in.dstSlot, rtVal{kind: rtScalar, s: v})
 
 		default:
-			return nil, fmt.Errorf("tac: %s instr %d: invalid opcode", f.Name, in.pos)
+			return fmt.Errorf("tac: %s instr %d: invalid opcode", f.Name, in.pos)
 		}
 		pc++
 	}
-	return out, nil
+	return nil
 }
 
 // scalar resolves an operand: an immediate, or a defined scalar slot.
@@ -294,7 +388,7 @@ func (fr *frame) rec(slot int, name string, in *Instr) (record.Record, error) {
 	return v.rec, nil
 }
 
-func (fr *frame) grp(slot int, name string, in *Instr) ([]record.Record, error) {
+func (fr *frame) grp(slot int, name string, in *Instr) (GroupSource, error) {
 	if slot < 0 || !fr.set[slot] {
 		return nil, fmt.Errorf("tac: instr %d: use of undefined group %s", in.pos, name)
 	}
@@ -426,16 +520,23 @@ func evalUn(op UnOp, a record.Value) (record.Value, error) {
 	}
 }
 
-func evalAgg(op AggOp, g []record.Record, field int) (record.Value, error) {
+// evalAgg aggregates one field over a group. Cells are read through the
+// GroupSource, so a columnar group aggregates straight over its column
+// arrays — no row is materialized for any aggregate. The semantics are the
+// row path's, unchanged: an all-int sum stays integral, everything else
+// coerces through AsFloat, min/max use Value.Compare, and an empty group
+// yields Null for every aggregate but count.
+func evalAgg(op AggOp, g GroupSource, field int) (record.Value, error) {
+	n := g.Len()
 	if op == AggCount {
-		return record.Int(int64(len(g))), nil
+		return record.Int(int64(n)), nil
 	}
-	if len(g) == 0 {
+	if n == 0 {
 		return record.Null, nil
 	}
 	allInt := true
-	for _, r := range g {
-		if r.Field(field).Kind() != record.KindInt {
+	for i := 0; i < n; i++ {
+		if g.Field(i, field).Kind() != record.KindInt {
 			allInt = false
 			break
 		}
@@ -444,23 +545,23 @@ func evalAgg(op AggOp, g []record.Record, field int) (record.Value, error) {
 	case AggSum, AggAvg:
 		if allInt && op == AggSum {
 			var s int64
-			for _, r := range g {
-				s += r.Field(field).AsInt()
+			for i := 0; i < n; i++ {
+				s += g.Field(i, field).AsInt()
 			}
 			return record.Int(s), nil
 		}
 		var s float64
-		for _, r := range g {
-			s += r.Field(field).AsFloat()
+		for i := 0; i < n; i++ {
+			s += g.Field(i, field).AsFloat()
 		}
 		if op == AggAvg {
-			return record.Float(s / float64(len(g))), nil
+			return record.Float(s / float64(n)), nil
 		}
 		return record.Float(s), nil
 	case AggMin, AggMax:
-		best := g[0].Field(field)
-		for _, r := range g[1:] {
-			v := r.Field(field)
+		best := g.Field(0, field)
+		for i := 1; i < n; i++ {
+			v := g.Field(i, field)
 			if (op == AggMin && v.Compare(best) < 0) || (op == AggMax && v.Compare(best) > 0) {
 				best = v
 			}

@@ -532,7 +532,7 @@ func TestEvalAggOps(t *testing.T) {
 	}
 	check := func(op AggOp, want record.Value) {
 		t.Helper()
-		got, err := evalAgg(op, g, 1)
+		got, err := evalAgg(op, recordsSource(g), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -545,10 +545,10 @@ func TestEvalAggOps(t *testing.T) {
 	check(AggMin, record.Int(3))
 	check(AggMax, record.Int(8))
 	check(AggAvg, record.Float(16.0/3.0))
-	if v, _ := evalAgg(AggSum, nil, 0); !v.IsNull() {
+	if v, _ := evalAgg(AggSum, recordsSource(nil), 0); !v.IsNull() {
 		t.Error("sum of empty group should be Null")
 	}
-	if v, _ := evalAgg(AggCount, nil, 0); v.AsInt() != 0 {
+	if v, _ := evalAgg(AggCount, recordsSource(nil), 0); v.AsInt() != 0 {
 		t.Error("count of empty group should be 0")
 	}
 }
