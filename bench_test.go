@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/sca"
 	"blackboxflow/internal/tac"
+	"blackboxflow/internal/transport"
 	"blackboxflow/internal/workloads/clickstream"
 	"blackboxflow/internal/workloads/textmine"
 	"blackboxflow/internal/workloads/tpch"
@@ -460,7 +462,10 @@ func BenchmarkShuffle(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out, bytes := e.Shuffle(in, keys)
+				out, bytes, err := e.Shuffle(in, keys)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if bytes != total || out.Records() != n {
 					b.Fatalf("shuffle moved %d records / %d bytes, want %d / %d",
 						out.Records(), bytes, n, total)
@@ -473,6 +478,72 @@ func BenchmarkShuffle(b *testing.B) {
 			b.ReportMetric(0, "spilled-B/op")
 		})
 	}
+}
+
+// BenchmarkNetShuffle compares the same 200k-record DOP-8 repartition over
+// the two transports: the in-process channel transport and the TCP
+// transport pushing every partition through two loopback shuffle workers
+// (the full wire path — framing, worker relay, demux — with only the
+// network's physical latency elided). The tcp/channel runtime ratio is the
+// wire overhead recorded in BENCH_net.json; shipped bytes are identical by
+// construction (byte accounting happens engine-side, before the seam).
+func BenchmarkNetShuffle(b *testing.B) {
+	const n = 200000
+	rng := rand.New(rand.NewSource(42))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	in := make(engine.Partitioned, 8)
+	total := 0
+	for i := 0; i < n; i++ {
+		r := record.Record{
+			record.Int(int64(rng.Intn(53) - 26)),
+			record.String(words[rng.Intn(len(words))]),
+			record.Int(int64(i)),
+		}
+		total += r.EncodedSize()
+		in[i%8] = append(in[i%8], r)
+	}
+	keys := []int{0, 1}
+
+	run := func(b *testing.B, tp transport.Transport) {
+		e := engine.New(8)
+		e.Transport = tp
+		b.SetBytes(int64(total))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, bytes, err := e.Shuffle(in, keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bytes != total || out.Records() != n {
+				b.Fatalf("shuffle moved %d records / %d bytes, want %d / %d",
+					out.Records(), bytes, n, total)
+			}
+		}
+		b.ReportMetric(float64(total), "shipped-B/op")
+		b.ReportMetric(0, "spilled-B/op")
+	}
+
+	b.Run("channel", func(b *testing.B) { run(b, nil) })
+	b.Run("tcp", func(b *testing.B) {
+		addrs := make([]string, 2)
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := transport.NewWorker(ln)
+			go w.Serve()
+			defer w.Close()
+			addrs[i] = w.Addr()
+		}
+		tp, err := transport.NewTCP(transport.TCPConfig{Workers: addrs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tp.Close()
+		run(b, tp)
+	})
 }
 
 // BenchmarkCombiner measures the pre-shuffle partial aggregation path on a
@@ -536,23 +607,17 @@ func reduce wcount($g) {
 		}
 	}
 
-	// combined-row-path runs the identical combining plan on the retained
-	// row execution path (Engine.RowPath) — the same-machine, same-run
-	// baseline the columnar sender is measured against.
 	for _, mode := range []struct {
 		name       string
 		combinable bool
-		rowPath    bool
 	}{
-		{"combined", true, false},
-		{"combined-row-path", true, true},
-		{"no-combiner", false, false},
+		{"combined", true},
+		{"no-combiner", false},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			redNode.Combinable = mode.combinable
 			defer func() { redNode.Combinable = true }()
 			e := engine.New(8)
-			e.RowPath = mode.rowPath
 			e.AddSource("words", data)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -624,20 +689,15 @@ func reduce wcount($g) {
 		}
 	}
 
-	// spill-row-path runs the identical budgeted plan with the record-
-	// comparator run sort (Engine.RowPath) instead of the columnar sort.
 	for _, mode := range []struct {
-		name    string
-		budget  int
-		rowPath bool
+		name   string
+		budget int
 	}{
-		{"in-memory", 0, false},
-		{"spill", 256 << 10, false},
-		{"spill-row-path", 256 << 10, true},
+		{"in-memory", 0},
+		{"spill", 256 << 10},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			e := engine.New(8)
-			e.RowPath = mode.rowPath
 			e.MemoryBudget = mode.budget
 			e.SpillDir = b.TempDir()
 			e.AddSource("words", data)
@@ -733,20 +793,15 @@ func binary jn($l, $r) {
 		rData[i] = record.Record{record.Null, record.Null, record.String(fmt.Sprintf("key%06d", k)), record.Int(k)}
 	}
 
-	// spill-row-path: identical budgeted merge join with the record-
-	// comparator sorts (Engine.RowPath) instead of the columnar sort.
 	for _, mode := range []struct {
-		name    string
-		budget  int
-		rowPath bool
+		name   string
+		budget int
 	}{
-		{"in-memory", 0, false},
-		{"spill", 256 << 10, false},
-		{"spill-row-path", 256 << 10, true},
+		{"in-memory", 0},
+		{"spill", 256 << 10},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			e := engine.New(8)
-			e.RowPath = mode.rowPath
 			e.MemoryBudget = mode.budget
 			e.SpillDir = b.TempDir()
 			e.AddSource("L", lData)

@@ -20,6 +20,13 @@
 //	GET  /metrics          scheduler admission + plan-cache metrics
 //	GET  /healthz          liveness (503 while draining)
 //
+// With -workers, every job's shuffles run across the named flowworker
+// processes (cmd/flowworker) over the TCP transport: the fleet is
+// calibrated at startup (measured bandwidth and latency feed plan
+// ranking), health-checked with TTL-cached pings, and a job's worker
+// connections are torn down with the job. Jobs fall back to in-process
+// execution while no worker is healthy.
+//
 // Repeated submissions of the same document hit the scheduler's plan
 // cache (-plan-cache entries) and skip compilation and optimization.
 // Terminal jobs are evicted from the registry after -job-ttl or beyond
@@ -39,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,7 +69,18 @@ func main() {
 	maxQueuedCost := flag.Float64("max-queued-cost", 0, "ceiling on summed optimizer cost estimates of queued jobs; 429 beyond it (0 = off)")
 	jobTTL := flag.Duration("job-ttl", defaultJobTTL, "how long finished jobs stay pollable before registry eviction (0 = forever)")
 	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "registry size that evicts oldest finished jobs (0 = unbounded)")
+	workers := flag.String("workers", "", "comma-separated flowworker addresses for distributed shuffles (empty = single-process)")
+	localSlots := flag.Int("local-slots", 0, "shuffle placement slots kept in this process per rotation when -workers is set (0 = all partitions remote)")
 	flag.Parse()
+
+	var workerAddrs []string
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workerAddrs = append(workerAddrs, a)
+			}
+		}
+	}
 
 	sched := jobs.New(jobs.Config{
 		GlobalBudget:     *globalBudget,
@@ -75,6 +94,8 @@ func main() {
 		TenantMaxQueued:  *tenantMaxQueued,
 		TenantBudgetFrac: *tenantBudgetFrac,
 		MaxQueuedCost:    *maxQueuedCost,
+		Workers:          workerAddrs,
+		LocalSlots:       *localSlots,
 	})
 	srv := newServer(sched)
 	srv.jobTTL = *jobTTL

@@ -1,0 +1,61 @@
+// Command flowworker hosts remote shuffle partitions for the dataflow
+// engine: it serves the transport wire protocol (internal/transport) on a
+// TCP listener, relaying framed record batches between the shuffle senders
+// and collectors of coordinator processes and answering their control
+// pings and calibration rounds.
+//
+//	flowworker -listen 127.0.0.1:0
+//
+// The first stdout line is the resolved listen address (meaningful with a
+// ":0" ephemeral port) — the contract coordinators and test harnesses use
+// to discover where the worker landed. Everything else goes to stderr.
+//
+// A worker holds no job state beyond its live connections: every shuffle
+// session and its buffers are scoped to one coordinator connection, so a
+// job's teardown is exactly its connections closing, and a worker serves
+// any number of concurrent jobs without cross-talk. On SIGINT/SIGTERM the
+// listener closes, in-flight relays finish their streams, and the process
+// exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blackboxflow/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "listen address (\":0\" picks an ephemeral port, printed on stdout)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("flowworker: %v", err)
+	}
+	w := transport.NewWorker(ln)
+
+	// The resolved address is the only stdout output: parseable by whatever
+	// launched us.
+	fmt.Println(w.Addr())
+	log.Printf("flowworker: serving shuffle transport on %s", w.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("flowworker: %v, shutting down", sig)
+		w.Close()
+	}()
+
+	if err := w.Serve(); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatalf("flowworker: %v", err)
+	}
+	log.Printf("flowworker: bye")
+}

@@ -197,111 +197,92 @@ func TestChaosSpillPipelinesSingleFault(t *testing.T) {
 	for _, shape := range chaosShapes(t) {
 		shape := shape
 		t.Run(shape.name, func(t *testing.T) {
-			// The sweep runs once per execution path — columnar first, then
-			// the row path — with the same seeded fault schedules, and the
-			// row baseline must be byte-identical to the columnar one: the
-			// chaos invariants and the differential property in one pass.
-			var colBaseline record.DataSet
-			for _, rowPath := range []bool{false, true} {
-				mode := "columnar"
-				if rowPath {
-					mode = "row"
-				}
-				t.Run(mode, func(t *testing.T) {
-					dir := t.TempDir()
-					e := New(3)
-					e.RowPath = rowPath
-					e.SpillDir = dir
-					e.MemoryBudget = shape.budget
-					for name, ds := range shape.sources {
-						e.AddSource(name, ds)
-					}
-					before := runtime.NumGoroutine()
-
-					baseline, stats, err := runWithWatchdog(t, e, shape.plan, shape.name+"/baseline")
-					if err != nil {
-						t.Fatal(err)
-					}
-					if stats.TotalSpillRuns() == 0 {
-						t.Fatalf("%s baseline wrote no spill runs — the sweep would exercise nothing", shape.name)
-					}
-					assertNoSpillFiles(t, dir)
-					if rowPath {
-						requireByteIdentical(t, baseline, colBaseline, shape.name+": row baseline vs columnar baseline")
-					} else {
-						colBaseline = baseline
-					}
-
-					// Count the fault surface: every spill-path filesystem
-					// operation of one representative run.
-					counter := faultfs.NewInjector(faultfs.OS{}, 0, faultfs.ENOSPC)
-					e.FS = counter
-					if _, _, err := runWithWatchdog(t, e, shape.plan, shape.name+"/count"); err != nil {
-						t.Fatal(err)
-					}
-					nOps := counter.Ops()
-					if nOps == 0 {
-						t.Fatalf("%s: counting run observed no filesystem operations", shape.name)
-					}
-
-					// Sweep fault points across the op range; the stride
-					// bounds the sweep to ~24 points per kind and the seed
-					// shifts which exact indices the CI matrix covers.
-					stride := nOps / 24
-					if stride < 1 {
-						stride = 1
-					}
-					offset := seed % stride
-					faulted := 0
-					for _, kind := range kinds {
-						for at := 1 + offset; at <= nOps; at += stride {
-							label := fmt.Sprintf("%s/%s/kind=%v/at=%d", shape.name, mode, kind, at)
-							inj := faultfs.NewInjector(faultfs.OS{}, at, kind)
-							inj.Delay = time.Millisecond
-							e.FS = inj
-							out, _, err := runWithWatchdog(t, e, shape.plan, label)
-							switch {
-							case err != nil:
-								// A failed run must fail *because of* the
-								// injected fault, and latency must never
-								// produce an error.
-								if !inj.Fired() {
-									t.Fatalf("%s: error %v without the fault firing", label, err)
-								}
-								if kind == faultfs.Latency {
-									t.Fatalf("%s: latency fault surfaced an error: %v", label, err)
-								}
-								if !faultfs.IsInjected(err) {
-									t.Fatalf("%s: error %v does not wrap the injected fault", label, err)
-								}
-								faulted++
-							default:
-								// No error: the fault did not fire, was
-								// latency-only, or the pipeline absorbed it —
-								// output must be intact.
-								requireByteIdentical(t, out, baseline, label)
-							}
-							// No spill file outlives its run, faulted or not.
-							assertNoSpillFiles(t, dir)
-						}
-
-						// The engine must stay usable after every kind's
-						// sub-sweep: a fault-free rerun on the same engine is
-						// byte-identical.
-						e.FS = nil
-						out, _, err := runWithWatchdog(t, e, shape.plan, shape.name+"/rerun")
-						if err != nil {
-							t.Fatalf("%s: fault-free rerun after %v sweep failed: %v", shape.name, kind, err)
-						}
-						requireByteIdentical(t, out, baseline, shape.name+"/rerun after "+kind.String())
-						assertNoSpillFiles(t, dir)
-					}
-					if faulted == 0 {
-						t.Fatalf("%s: no fault in the sweep ever surfaced an error — the injector is not reaching the spill path", shape.name)
-					}
-					waitGoroutines(t, before)
-				})
+			dir := t.TempDir()
+			e := New(3)
+			e.SpillDir = dir
+			e.MemoryBudget = shape.budget
+			for name, ds := range shape.sources {
+				e.AddSource(name, ds)
 			}
+			before := runtime.NumGoroutine()
+
+			baseline, stats, err := runWithWatchdog(t, e, shape.plan, shape.name+"/baseline")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.TotalSpillRuns() == 0 {
+				t.Fatalf("%s baseline wrote no spill runs — the sweep would exercise nothing", shape.name)
+			}
+			assertNoSpillFiles(t, dir)
+
+			// Count the fault surface: every spill-path filesystem
+			// operation of one representative run.
+			counter := faultfs.NewInjector(faultfs.OS{}, 0, faultfs.ENOSPC)
+			e.FS = counter
+			if _, _, err := runWithWatchdog(t, e, shape.plan, shape.name+"/count"); err != nil {
+				t.Fatal(err)
+			}
+			nOps := counter.Ops()
+			if nOps == 0 {
+				t.Fatalf("%s: counting run observed no filesystem operations", shape.name)
+			}
+
+			// Sweep fault points across the op range; the stride
+			// bounds the sweep to ~24 points per kind and the seed
+			// shifts which exact indices the CI matrix covers.
+			stride := nOps / 24
+			if stride < 1 {
+				stride = 1
+			}
+			offset := seed % stride
+			faulted := 0
+			for _, kind := range kinds {
+				for at := 1 + offset; at <= nOps; at += stride {
+					label := fmt.Sprintf("%s/kind=%v/at=%d", shape.name, kind, at)
+					inj := faultfs.NewInjector(faultfs.OS{}, at, kind)
+					inj.Delay = time.Millisecond
+					e.FS = inj
+					out, _, err := runWithWatchdog(t, e, shape.plan, label)
+					switch {
+					case err != nil:
+						// A failed run must fail *because of* the
+						// injected fault, and latency must never
+						// produce an error.
+						if !inj.Fired() {
+							t.Fatalf("%s: error %v without the fault firing", label, err)
+						}
+						if kind == faultfs.Latency {
+							t.Fatalf("%s: latency fault surfaced an error: %v", label, err)
+						}
+						if !faultfs.IsInjected(err) {
+							t.Fatalf("%s: error %v does not wrap the injected fault", label, err)
+						}
+						faulted++
+					default:
+						// No error: the fault did not fire, was
+						// latency-only, or the pipeline absorbed it —
+						// output must be intact.
+						requireByteIdentical(t, out, baseline, label)
+					}
+					// No spill file outlives its run, faulted or not.
+					assertNoSpillFiles(t, dir)
+				}
+
+				// The engine must stay usable after every kind's
+				// sub-sweep: a fault-free rerun on the same engine is
+				// byte-identical.
+				e.FS = nil
+				out, _, err := runWithWatchdog(t, e, shape.plan, shape.name+"/rerun")
+				if err != nil {
+					t.Fatalf("%s: fault-free rerun after %v sweep failed: %v", shape.name, kind, err)
+				}
+				requireByteIdentical(t, out, baseline, shape.name+"/rerun after "+kind.String())
+				assertNoSpillFiles(t, dir)
+			}
+			if faulted == 0 {
+				t.Fatalf("%s: no fault in the sweep ever surfaced an error — the injector is not reaching the spill path", shape.name)
+			}
+			waitGoroutines(t, before)
 		})
 	}
 }

@@ -19,15 +19,11 @@ import (
 // pins across the spill and merge-join paths.
 
 // sortRecs stably sorts a partition's records on the key fields (ascending
-// key order, arrival order preserved within equal keys), honoring
-// Engine.RowPath: the row path is the seed's record-comparator sort, the
-// columnar path the decorated column-vector sort. Identical output either
-// way.
+// key order, arrival order preserved within equal keys) through the
+// decorated column-vector sort. It produces the same permutation as a
+// record-comparator sort, which colsort_test.go pins against a reference
+// implementation.
 func (e *Engine) sortRecs(recs []record.Record, keys []int) {
-	if e.RowPath {
-		sortByKey(recs, keys)
-		return
-	}
 	sortByKeyColumnar(recs, keys)
 }
 

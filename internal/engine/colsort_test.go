@@ -4,10 +4,20 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"blackboxflow/internal/record"
 )
+
+// sortByKey is the reference permutation oracle: a stable record-comparator
+// sort by the key fields (ascending key order, arrival order preserved
+// within equal keys). It was the production spill-sort before the columnar
+// flip and survives here purely to pin sortByKeyColumnar against an
+// independent implementation.
+func sortByKey(recs []record.Record, keys []int) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].CompareOn(recs[j], keys) < 0 })
+}
 
 // randSortValue draws from a distribution built to stress every branch of
 // the sort decoration: cross-kind comparisons, NaN (which Value.Compare

@@ -8,6 +8,7 @@ import (
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
+	"blackboxflow/internal/transport"
 )
 
 // opCount tallies one operator's exact record movement inside a fused loop
@@ -118,38 +119,33 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 	return out, nil
 }
 
-// combineShuffle is the combining variant of shuffle: same channel topology
-// (one sender per source partition, one collector per target), but each
-// sender runs the fused Map chain and partially aggregates every per-target
-// batch before flushing it. With no memory budget the collectors are the
-// plain shuffleCollect — a combined batch needs no special handling on the
-// receiving side. Under a budget the collectors are the spill-tracking
-// spillCollect, so combining and spilling compose: senders shrink the
-// stream first, receivers spill only what still overflows, and every
-// spilled run consists of already partially aggregated records. The
+// combineShuffle is the combining variant of shuffle: same transport
+// topology (one sender per source partition, one collector per target), but
+// each sender runs the fused Map chain and partially aggregates every
+// per-target batch before flushing it. With no memory budget the collectors
+// are the plain shuffleCollect — a combined batch needs no special handling
+// on the receiving side. Under a budget the collectors are the
+// spill-tracking spillCollect, so combining and spilling compose: senders
+// shrink the stream first, receivers spill only what still overflows, and
+// every spilled run consists of already partially aggregated records. The
 // returned spills slice is nil when no budget is set.
 func (e *Engine) combineShuffle(ctx context.Context, in Partitioned, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int) (Partitioned, []*partitionSpill, []combineCounts, int, error) {
 	dop := e.DOP
-	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
-	for i := range st.chans {
-		st.chans[i] = make(chan *record.Batch)
+	sh, err := e.transport().OpenShuffle(ctx, transport.Spec{Senders: len(in), Targets: dop})
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("engine: combining shuffle: %w", err)
 	}
+	stop := context.AfterFunc(ctx, func() { sh.Close() })
+	defer stop()
+	defer sh.Close()
+	st := &shuffleState{sh: sh, sendErrs: make([]error, len(in)), recvErrs: make([]error, dop)}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)
 	counts := make([]combineCounts, len(in))
-	errs := make([]error, len(in))
-	if e.RowPath {
-		acc := make([]*record.Batch, len(in)*dop)
-		for si, part := range in {
-			counts[si].chain = make([]opCount, len(chain))
-			go e.combineSend(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
-		}
-	} else {
-		acc := make([]*record.ColBatch, len(in)*dop)
-		for si, part := range in {
-			counts[si].chain = make([]opCount, len(chain))
-			go e.combineSendCols(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &errs[si])
-		}
+	acc := make([]*record.ColBatch, len(in)*dop)
+	for si, part := range in {
+		counts[si].chain = make([]opCount, len(chain))
+		go e.combineSendCols(ctx, st, acc[si*dop:(si+1)*dop], part, chain, op, keys, &counts[si], &st.sendErrs[si])
 	}
 	// Combined partition sizes depend on the key distribution, unknowable
 	// here; start small and let append growth track the actual volume.
@@ -158,29 +154,24 @@ func (e *Engine) combineShuffle(ctx context.Context, in Partitioned, chain []*op
 	if e.MemoryBudget > 0 {
 		spills = make([]*partitionSpill, dop)
 		budget := e.MemoryBudget / dop
-		for i := range st.chans {
+		for i := 0; i < dop; i++ {
 			spills[i] = &partitionSpill{}
 			go e.spillCollect(ctx, st, out, spills[i], i, keys, budget)
 		}
 	} else {
-		for i := range st.chans {
+		for i := 0; i < dop; i++ {
 			go shuffleCollect(st, out, i, 64)
 		}
 	}
 	st.senders.Wait()
-	for _, c := range st.chans {
-		close(c)
-	}
 	st.collectors.Wait()
 	if err := context.Cause(ctx); err != nil {
 		closeSpills(spills)
 		return nil, nil, nil, 0, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			closeSpills(spills)
-			return nil, nil, nil, 0, err
-		}
+	if err := st.firstErr(); err != nil {
+		closeSpills(spills)
+		return nil, nil, nil, 0, err
 	}
 	for _, sp := range spills {
 		if sp.err != nil {
@@ -191,87 +182,18 @@ func (e *Engine) combineShuffle(ctx context.Context, in Partitioned, chain []*op
 	return out, spills, counts, int(st.bytes.Load()), nil
 }
 
-// combineSend is one sender of a combining shuffle: it cascades each record
-// of its source partition through the fused Map chain, hash-routes the
-// chain's outputs into per-target accumulator batches, and partially
-// aggregates every batch (record.Batch.Combine with the Reduce's combiner)
-// before shipping it — so a full flush window leaves the sender as at most
-// one record per group key.
-func (e *Engine) combineSend(ctx context.Context, st *shuffleState, acc []*record.Batch, part []record.Record, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int, c *combineCounts, errOut *error) {
-	defer st.senders.Done()
-	dop := uint64(len(st.chans))
-	local := 0
-
-	flush := func(t int, b *record.Batch) error {
-		calls, err := b.Combine(keys, func(group []record.Record) ([]record.Record, error) {
-			return e.interp.InvokeReduce(op.Combiner, group)
-		})
-		if err != nil {
-			record.PutBatch(b)
-			return fmt.Errorf("engine: %s combiner: %w", op.Name, err)
-		}
-		c.combinerCalls += calls
-		local += b.EncodedSize()
-		st.chans[t] <- b
-		return nil
-	}
-	route := func(r record.Record) error {
-		c.combineIn++
-		t := int(r.Hash(keys) % dop)
-		b := acc[t]
-		if b == nil {
-			b = record.GetBatch()
-			acc[t] = b
-		}
-		if b.Append(r) {
-			acc[t] = nil
-			return flush(t, b)
-		}
-		return nil
-	}
-	fail := func(err error) {
-		*errOut = err
-		dropBatches(acc)
-	}
-	var tick ticker
-	for _, r := range part {
-		if tick.due() && context.Cause(ctx) != nil {
-			fail(context.Cause(ctx))
-			st.bytes.Add(int64(local))
-			return
-		}
-		if err := e.chainEmit(chain, c.chain, 0, r, route); err != nil {
-			fail(err)
-			st.bytes.Add(int64(local))
-			return
-		}
-	}
-	// Flush the partial tail batches (always non-empty: a batch is only
-	// allocated on first append).
-	for t, b := range acc {
-		if b != nil {
-			acc[t] = nil
-			if err := flush(t, b); err != nil {
-				fail(err)
-				break
-			}
-		}
-	}
-	st.bytes.Add(int64(local))
-}
-
-// combineSendCols is the columnar sender: same topology and flush policy as
-// combineSend, but records accumulate into per-target ColBatches — typed
-// column arrays with dictionary-coded strings — and the routing hash is
-// computed once and cached per row, so the grouping pass inside CombineInto
-// never re-hashes. The combined output is flushed into a fresh pooled
-// record.Batch, keeping the channel transport and the collectors identical
-// to the row path (byte-identical shuffle, pinned by the differential
-// suite).
+// combineSendCols is the columnar combining sender: records accumulate into
+// per-target ColBatches — typed column arrays with dictionary-coded
+// strings — and the routing hash is computed once and cached per row, so
+// the grouping pass inside CombineInto never re-hashes. The combined output
+// is flushed into a fresh pooled record.Batch and handed to the transport
+// session, keeping the collectors identical to the plain shuffle's.
 func (e *Engine) combineSendCols(ctx context.Context, st *shuffleState, acc []*record.ColBatch, part []record.Record, chain []*optimizer.PhysPlan, op *dataflow.Operator, keys []int, c *combineCounts, errOut *error) {
 	defer st.senders.Done()
-	dop := uint64(len(st.chans))
+	defer st.sh.SenderDone()
+	dop := uint64(len(st.recvErrs))
 	local := 0
+	defer func() { st.bytes.Add(int64(local)) }()
 
 	flush := func(t int, cb *record.ColBatch) error {
 		out := record.GetBatch()
@@ -285,8 +207,7 @@ func (e *Engine) combineSendCols(ctx context.Context, st *shuffleState, acc []*r
 		}
 		c.combinerCalls += calls
 		local += out.EncodedSize()
-		st.chans[t] <- out
-		return nil
+		return st.sh.Send(t, out)
 	}
 	route := func(r record.Record) error {
 		c.combineIn++
@@ -316,25 +237,24 @@ func (e *Engine) combineSendCols(ctx context.Context, st *shuffleState, acc []*r
 	for _, r := range part {
 		if tick.due() && context.Cause(ctx) != nil {
 			fail(context.Cause(ctx))
-			st.bytes.Add(int64(local))
 			return
 		}
 		if err := feed(r); err != nil {
 			fail(err)
-			st.bytes.Add(int64(local))
 			return
 		}
 	}
+	// Flush the partial tail batches (always non-empty: a batch is only
+	// allocated on first append).
 	for t, cb := range acc {
 		if cb != nil {
 			acc[t] = nil
 			if err := flush(t, cb); err != nil {
 				fail(err)
-				break
+				return
 			}
 		}
 	}
-	st.bytes.Add(int64(local))
 }
 
 // dropColBatches returns a failed sender's accumulated ColBatches to the

@@ -11,27 +11,31 @@ import (
 	"blackboxflow/internal/tac"
 )
 
-// This file is the row/column differential harness: every execution-path
-// family the columnar flip touched — fused Map chains, combining shuffles,
-// budget-forced spill grouping, and joins — runs twice on fresh engines,
-// once with RowPath (the seed's per-record implementations) and once
-// columnar (the default), at DOP 1, 2, 8, and 17, and the outputs must be
-// byte-identical. DOP 1 exercises the degenerate single-partition topology,
-// 2 the minimal shuffle, 8 more partitions than test cores, and 17 a prime
-// that leaves no hash distribution aligned with batch boundaries.
+// This file is the differential harness: every execution-path family —
+// fused Map chains, combining shuffles, budget-forced spill grouping, and
+// joins — runs twice on fresh engines, once on the default path (batched,
+// combining, spill-capable, columnar) and once on the retained LegacyShuffle
+// baseline (record-at-a-time shipping, no combining, no spilling), at DOP
+// 1, 2, 8, and 17, and the outputs must be byte-identical — the canonical
+// group/join order makes every path agree record for record. DOP 1
+// exercises the degenerate single-partition topology, 2 the minimal
+// shuffle, 8 more partitions than test cores, and 17 a prime that leaves
+// no hash distribution aligned with batch boundaries.
 
 // differentialDOPs are the degrees of parallelism the suite pins.
 var differentialDOPs = []int{1, 2, 8, 17}
 
-// runBothModes executes the plan on two fresh engines — columnar and row
-// path — and requires byte-identical outputs. It returns the columnar
-// output and run stats so callers can assert the intended execution path
-// (spilling, combining) was actually taken.
+// runBothModes executes the plan on two fresh engines — the default path
+// and the LegacyShuffle baseline — and requires byte-identical outputs. It
+// returns the default path's output and run stats so callers can assert
+// the intended execution path (spilling, combining) was actually taken;
+// the legacy engine ignores the budget (it predates spilling), which is
+// exactly what makes it a baseline for the budgeted runs too.
 func runBothModes(t *testing.T, label string, phys *optimizer.PhysPlan, sources map[string]record.DataSet, dop, budget int, spillDir string) (record.DataSet, *RunStats) {
 	t.Helper()
-	run := func(rowPath bool) (record.DataSet, *RunStats) {
+	run := func(legacy bool) (record.DataSet, *RunStats) {
 		e := New(dop)
-		e.RowPath = rowPath
+		e.LegacyShuffle = legacy
 		e.MemoryBudget = budget
 		e.SpillDir = spillDir
 		for name, ds := range sources {
@@ -39,19 +43,21 @@ func runBothModes(t *testing.T, label string, phys *optimizer.PhysPlan, sources 
 		}
 		out, stats, err := e.Run(phys)
 		if err != nil {
-			t.Fatalf("%s (RowPath=%v): %v", label, rowPath, err)
+			t.Fatalf("%s (LegacyShuffle=%v): %v", label, legacy, err)
 		}
 		return out, stats
 	}
-	col, stats := run(false)
-	row, _ := run(true)
-	requireByteIdentical(t, col, row, label+": row vs columnar")
-	return col, stats
+	def, stats := run(false)
+	legacy, _ := run(true)
+	requireByteIdentical(t, def, legacy, label+": default vs legacy")
+	return def, stats
 }
 
-// TestDifferentialMapChains pins the fused Map chain: the row path's
-// recursive chainEmit versus the columnar path's prebuilt MapRunner stack,
-// over randomly generated multi-emitting, filtering, rewriting UDF chains.
+// TestDifferentialMapChains pins the fused Map chain (the prebuilt
+// MapRunner stack) across the default and legacy engines over randomly
+// generated multi-emitting, filtering, rewriting UDF chains — a
+// determinism check that the fused loop's output is a pure function of
+// the plan and data, not of engine configuration.
 func TestDifferentialMapChains(t *testing.T) {
 	const (
 		trials = 3
@@ -106,10 +112,10 @@ func TestDifferentialMapChains(t *testing.T) {
 	}
 }
 
-// TestDifferentialCombinedReduce pins the combining shuffle (Batch.Combine
-// versus ColBatch.CombineInto with cached routing hashes) and, under a tiny
-// budget, the spill-sort (record comparators versus decorated column
-// vectors) feeding the external merge.
+// TestDifferentialCombinedReduce pins the combining shuffle (columnar
+// ColBatch.CombineInto senders) and, under a tiny budget, the spill path's
+// external merge against the uncombined, unspilled legacy baseline: partial
+// aggregation and out-of-core grouping must be invisible in the output.
 func TestDifferentialCombinedReduce(t *testing.T) {
 	const trials = 3
 	spillDir := t.TempDir()

@@ -4,11 +4,20 @@
 //
 // Each operator runs with a configurable degree of parallelism: the data of
 // every edge is split into DOP partitions, shipping strategies move records
-// between partitions over channels (hash partitioning, broadcast, or local
-// forwarding), and local strategies (hash join, sort-merge join, sort/hash
-// grouping, nested loops) process each partition in its own goroutine. The
-// engine records per-operator statistics — records, shipped bytes, UDF
-// calls — so experiments can relate estimated costs to observed work.
+// between partitions (hash partitioning, broadcast, or local forwarding),
+// and local strategies (hash join, sort-merge join, sort/hash grouping,
+// nested loops) process each partition in its own goroutine. The engine
+// records per-operator statistics — records, shipped bytes, UDF calls — so
+// experiments can relate estimated costs to observed work.
+//
+// All non-forward shipping flows through a transport.Transport (see
+// internal/transport): the engine decides what moves where (hash routing,
+// batching, byte accounting), the transport decides how the bytes get
+// there. The default transport.Channel keeps everything in-process over
+// unbuffered channels; transport.TCP places shuffle partitions on
+// flowworker processes and frames batches over sockets. The engine's
+// sender/collector topology, batch flushing, cancellation, and statistics
+// are identical across transports.
 //
 // The engine is memory-budgeted: when Engine.MemoryBudget is set, shuffle
 // receivers feeding a grouping or join operator (Reduce, CoGroup, Match)
@@ -35,6 +44,7 @@ import (
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/tac"
+	"blackboxflow/internal/transport"
 )
 
 // cancelStride is how many records (or groups) a hot loop processes between
@@ -184,19 +194,16 @@ type Engine struct {
 	// what a baseline should do.
 	LegacyShuffle bool
 
-	// RowPath routes operator internals through the pre-columnar row-at-a-
-	// time implementations: per-invocation interpreter frames in fused Map
-	// chains, record.Batch.Combine in the combining senders, and the
-	// record-comparator sorts in the spill and merge-join paths. The default
-	// (false) uses the columnar/vectorized implementations: reusable
-	// emit-callback map runners, record.ColBatch accumulation with cached
-	// key hashes and column-wise grouping, and decorated column-vector sort
-	// keys. Both paths produce byte-identical output — pinned by the
-	// row/column differential suite at DOP {1,2,8,17} — and the flag exists
-	// for exactly that comparison; it is compatibility scaffolding for one
-	// release while the differential suite burns in, after which the row
-	// path is retired.
-	RowPath bool
+	// Transport moves the bytes of non-forward shipping steps (partition
+	// shuffles and broadcasts). Nil means transport.Channel{} — the
+	// in-process transport, which reproduces the engine's original
+	// channel-based shuffle byte for byte. Installing a transport.TCP
+	// places shuffle partitions on flowworker processes instead; the
+	// engine's routing, batching, byte accounting, and output bytes are
+	// identical either way (pinned by the distributed equivalence suite).
+	// The transport is borrowed, not owned: Close it yourself after the
+	// last run (internal/jobs tears its per-job transports down this way).
+	Transport transport.Transport
 
 	// MemoryBudget caps the resident bytes (record wire encoding, the same
 	// unit as ShippedBytes) that shuffle receivers feeding a grouping or
@@ -228,6 +235,15 @@ type Engine struct {
 	// shuffles dominate plan runtimes; on a single machine, channel-based
 	// shuffles are far faster relative to UDF work, so throttling restores
 	// the testbed's cost balance (see DESIGN.md). Zero disables throttling.
+	//
+	// Deprecated: the simulation only makes sense for the in-process
+	// channel transport, where no real interconnect exists. Runs on any
+	// other transport measure their bandwidth at calibration time instead
+	// (transport.Transport.Calibrate feeds the optimizer's NetProfile), and
+	// RunContext rejects a positive NetBandwidth there — simulating a
+	// network on top of a real one would double-count the cost. It stays
+	// honored for channel-transport runs so the examples and EXPERIMENTS
+	// baselines remain reproducible.
 	NetBandwidth float64
 
 	interp *tac.Interp
@@ -244,9 +260,31 @@ func New(dop int) *Engine {
 
 // WithNetBandwidth sets the simulated interconnect bandwidth in bytes per
 // second and returns the engine.
+//
+// Deprecated: see Engine.NetBandwidth — the simulation is only valid on
+// the default channel transport, and RunContext returns an error when a
+// positive NetBandwidth meets any other transport. New code should let the
+// transport's measured calibration drive network costs instead.
 func (e *Engine) WithNetBandwidth(bytesPerSec float64) *Engine {
 	e.NetBandwidth = bytesPerSec
 	return e
+}
+
+// WithTransport installs the transport that non-forward shipping runs over
+// and returns the engine. The engine borrows the transport; the caller
+// closes it after the last run.
+func (e *Engine) WithTransport(t transport.Transport) *Engine {
+	e.Transport = t
+	return e
+}
+
+// transport returns the engine's transport seam, defaulting to the
+// in-process channel transport.
+func (e *Engine) transport() transport.Transport {
+	if e.Transport != nil {
+		return e.Transport
+	}
+	return transport.Channel{}
 }
 
 // WithMemoryBudget caps the resident bytes of grouping shuffle receivers
@@ -284,6 +322,11 @@ func (e *Engine) Run(plan *optimizer.PhysPlan) (record.DataSet, *RunStats, error
 // returns its result normally. The engine may be reused after a cancelled
 // run; partial outputs are discarded.
 func (e *Engine) RunContext(ctx context.Context, plan *optimizer.PhysPlan) (record.DataSet, *RunStats, error) {
+	if e.NetBandwidth > 0 {
+		if kind := e.transport().Kind(); kind != transport.KindChannel {
+			return nil, nil, fmt.Errorf("engine: NetBandwidth simulation is only valid on the %q transport (the %q transport measures its real bandwidth at calibration; simulating one on top would double-count)", transport.KindChannel, kind)
+		}
+	}
 	stats := &RunStats{}
 	out, err := e.exec(ctx, plan, stats)
 	if err != nil {
@@ -343,9 +386,12 @@ func (e *Engine) exec(ctx context.Context, p *optimizer.PhysPlan, stats *RunStat
 		if i < len(op.Keys) {
 			keys = op.Keys[i]
 		}
-		shipped, bytes := e.ship(ctx, inputs[i], p.Ship[i], keys)
-		inputs[i] = shipped
+		shipped, bytes, err := e.ship(ctx, inputs[i], p.Ship[i], keys)
 		st.ShippedBytes += bytes
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = shipped
 	}
 	// A cancelled shuffle returns partial partitions; discard them rather
 	// than let a truncated input masquerade as the operator's real input.
@@ -372,118 +418,150 @@ func (e *Engine) exec(ctx context.Context, p *optimizer.PhysPlan, stats *RunStat
 
 // ship moves a partitioned data set according to the shipping strategy,
 // returning the reshaped data and the number of bytes that crossed the
-// (simulated) network. Partitioning and broadcasting move records through
-// per-target channels with one sender goroutine per source partition,
-// mirroring a shuffle.
-func (e *Engine) ship(ctx context.Context, in Partitioned, s optimizer.Shipping, keys []int) (Partitioned, int) {
+// network seam. Partitioning and broadcasting move records through the
+// engine's transport; forwarding is the identity. The byte count is
+// meaningful even alongside an error (partial transfers count what they
+// accounted before failing).
+func (e *Engine) ship(ctx context.Context, in Partitioned, s optimizer.Shipping, keys []int) (Partitioned, int, error) {
 	switch s {
 	case optimizer.ShipForward:
-		return in, 0
+		return in, 0, nil
 	case optimizer.ShipPartition:
 		return e.shuffleDispatch(ctx, in, keys)
 	case optimizer.ShipBroadcast:
 		// Every partition gets its own copy of the record headers (the
 		// records themselves are immutable by engine convention). Handing the
 		// same slice to all DOP partitions would let any local strategy that
-		// sorts its input in place race against its sibling goroutines.
-		bytes := 0
-		full := in.Flatten()
-		size := full.TotalSize()
-		out := make(Partitioned, e.DOP)
-		for i := range out {
-			out[i] = append([]record.Record(nil), full...)
-			bytes += size
+		// sorts its input in place race against its sibling goroutines. The
+		// transport owns the copying: remote placements genuinely cross the
+		// wire, the channel transport clones headers in-process, and both
+		// account the full wire size once per copy.
+		copies, bytes, err := e.transport().Broadcast(ctx, in.Flatten(), e.DOP)
+		if err != nil {
+			return nil, bytes, fmt.Errorf("engine: broadcast: %w", err)
 		}
-		return out, bytes
+		return Partitioned(copies), bytes, nil
 	default:
-		return in, 0
+		return in, 0, nil
 	}
 }
 
 // Shuffle hash-partitions a partitioned data set by the key fields into
 // e.DOP partitions and returns the reshaped data plus the number of bytes
-// that crossed the (simulated) network. It is the primitive behind
-// ShipPartition, exposed so tests and benchmarks can drive it directly.
-func (e *Engine) Shuffle(in Partitioned, keys []int) (Partitioned, int) {
+// that crossed the network seam. It is the primitive behind ShipPartition,
+// exposed so tests and benchmarks can drive it directly.
+func (e *Engine) Shuffle(in Partitioned, keys []int) (Partitioned, int, error) {
 	return e.shuffleDispatch(context.Background(), in, keys)
 }
 
-// shuffleDispatch routes a partition shuffle to the batched or the retained
-// legacy executor — the single place that branch lives.
-func (e *Engine) shuffleDispatch(ctx context.Context, in Partitioned, keys []int) (Partitioned, int) {
+// shuffleDispatch routes a partition shuffle to the transport-backed or the
+// retained legacy executor — the single place that branch lives.
+func (e *Engine) shuffleDispatch(ctx context.Context, in Partitioned, keys []int) (Partitioned, int, error) {
 	if e.LegacyShuffle {
-		return e.shuffleRecordAtATime(in, keys)
+		out, bytes := e.shuffleRecordAtATime(in, keys)
+		return out, bytes, nil
 	}
 	return e.shuffle(ctx, in, keys)
 }
 
-// shuffle hash-partitions records by the key fields using goroutines and
-// channels (one sender per source partition, one collector per target).
+// shuffle hash-partitions records by the key fields over the engine's
+// transport (one sender goroutine per source partition, one collector per
+// target).
 //
 // Records move in record.Batch units rather than one at a time: each sender
-// accumulates a per-target batch and flushes it over the target's channel
-// when full (record.DefaultBatchCap records), which amortizes channel
+// accumulates a per-target batch and hands it to the transport session when
+// full (record.DefaultBatchCap records), which amortizes per-transfer
 // synchronization across ~1k records. Batches are sync.Pool-recycled, and
 // each batch carries its running encoded size, so byte accounting needs no
-// second pass over the records. See DESIGN.md.
-// The senders and collectors are top-level functions taking explicit
-// arguments (not closures) and the channels are unbuffered, keeping the
-// fixed allocation cost of a shuffle to the channel objects and the output
-// partitions themselves.
-func (e *Engine) shuffle(ctx context.Context, in Partitioned, keys []int) (Partitioned, int) {
+// second pass over the records — and happens engine-side before Send, so
+// ShippedBytes is identical whichever transport carries the batch. See
+// DESIGN.md. The senders and collectors are top-level functions taking
+// explicit arguments (not closures), keeping the fixed allocation cost of
+// a shuffle to the session and the output partitions themselves.
+//
+// Cancellation: the senders poll the context and stop routing, and a
+// context.AfterFunc closes the session so a sender or collector blocked
+// inside the transport (a full socket, a dead peer) is unblocked with an
+// error instead of hanging. The caller discards partial output either way.
+func (e *Engine) shuffle(ctx context.Context, in Partitioned, keys []int) (Partitioned, int, error) {
 	dop := e.DOP
-	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
-	for i := range st.chans {
-		st.chans[i] = make(chan *record.Batch)
+	sh, err := e.transport().OpenShuffle(ctx, transport.Spec{Senders: len(in), Targets: dop})
+	if err != nil {
+		return nil, 0, fmt.Errorf("engine: shuffle: %w", err)
 	}
+	stop := context.AfterFunc(ctx, func() { sh.Close() })
+	defer stop()
+	defer sh.Close()
+	st := &shuffleState{sh: sh, sendErrs: make([]error, len(in)), recvErrs: make([]error, dop)}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)
 	// One flat accumulator array for all senders; sender si owns the
 	// per-target window acc[si*dop : (si+1)*dop].
 	acc := make([]*record.Batch, len(in)*dop)
 	for si, part := range in {
-		go shuffleSend(ctx, st, acc[si*dop:(si+1)*dop], part, keys)
+		go shuffleSend(ctx, st, si, acc[si*dop:(si+1)*dop], part, keys)
 	}
 	// Pre-size each output partition for a near-uniform key distribution;
 	// skewed keys just fall back to append growth.
 	sizeHint := in.Records()/dop + in.Records()/(8*dop) + 16
 	out := make(Partitioned, dop)
-	for i := range st.chans {
+	for i := 0; i < dop; i++ {
 		go shuffleCollect(st, out, i, sizeHint)
 	}
 	st.senders.Wait()
-	for _, c := range st.chans {
-		close(c)
-	}
 	st.collectors.Wait()
-	return out, int(st.bytes.Load())
+	bytes := int(st.bytes.Load())
+	if err := st.firstErr(); err != nil {
+		return nil, bytes, fmt.Errorf("engine: shuffle: %w", err)
+	}
+	return out, bytes, nil
 }
 
 // shuffleState is the shared coordination state of one shuffle execution,
 // allocated once so sender and collector goroutines share a single object.
 type shuffleState struct {
-	chans      []chan *record.Batch
+	sh         transport.Shuffle
 	senders    sync.WaitGroup
 	collectors sync.WaitGroup
 	bytes      atomic.Int64
+	sendErrs   []error // one slot per sender, written before senders.Done
+	recvErrs   []error // one slot per target, written before collectors.Done
+}
+
+// firstErr returns the first sender or collector error after both wait
+// groups have drained.
+func (st *shuffleState) firstErr() error {
+	for _, err := range st.sendErrs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range st.recvErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // shuffleSend hash-routes one source partition's records into per-target
-// batches, flushing each batch over its target's channel when full. On
+// batches, handing each batch to the transport session when full. On
 // cancellation the sender stops routing and recycles its accumulated
-// batches; the collectors drain whatever was already in flight (they only
-// stop when the channels close), so cancellation can never deadlock the
-// unbuffered shuffle channels — the caller detects the cancelled context
-// and discards the partial output.
-func shuffleSend(ctx context.Context, st *shuffleState, acc []*record.Batch, part []record.Record, keys []int) {
+// batches; in-flight batches are drained by the collectors (a target's
+// stream only ends at EOS or a transport error), so cancellation can never
+// deadlock the session — the caller detects the cancelled context and
+// discards the partial output. A Send error is terminal for the sender: it
+// records the error and lets SenderDone (deferred) terminate its streams.
+func shuffleSend(ctx context.Context, st *shuffleState, si int, acc []*record.Batch, part []record.Record, keys []int) {
 	defer st.senders.Done()
-	dop := uint64(len(st.chans))
+	defer st.sh.SenderDone()
 	local := 0
+	defer func() { st.bytes.Add(int64(local)) }()
+	dop := uint64(len(st.recvErrs))
 	var tick ticker
 	for _, r := range part {
 		if tick.due() && ctx.Err() != nil {
 			dropBatches(acc)
-			st.bytes.Add(int64(local))
 			return
 		}
 		t := int(r.Hash(keys) % dop)
@@ -494,8 +572,12 @@ func shuffleSend(ctx context.Context, st *shuffleState, acc []*record.Batch, par
 		}
 		if b.Append(r) {
 			local += b.EncodedSize()
-			st.chans[t] <- b
 			acc[t] = nil
+			if err := st.sh.Send(t, b); err != nil {
+				st.sendErrs[si] = err
+				dropBatches(acc)
+				return
+			}
 		}
 	}
 	// Flush the partial tail batches (always non-empty: a batch is only
@@ -503,11 +585,14 @@ func shuffleSend(ctx context.Context, st *shuffleState, acc []*record.Batch, par
 	for t, b := range acc {
 		if b != nil {
 			local += b.EncodedSize()
-			st.chans[t] <- b
 			acc[t] = nil
+			if err := st.sh.Send(t, b); err != nil {
+				st.sendErrs[si] = err
+				dropBatches(acc)
+				return
+			}
 		}
 	}
-	st.bytes.Add(int64(local))
 }
 
 // dropBatches recycles a sender's unsent accumulator batches.
@@ -535,12 +620,22 @@ func netDelay(ctx context.Context, d time.Duration) {
 	}
 }
 
-// shuffleCollect drains one target partition's channel, appending batch
-// contents into the output and recycling the batches.
+// shuffleCollect drains one target partition's stream from the transport
+// session, appending batch contents into the output and recycling the
+// batches. A Recv error is terminal for the stream (the transport
+// guarantees no more data follows), so the collector records it and exits.
 func shuffleCollect(st *shuffleState, out Partitioned, i, sizeHint int) {
 	defer st.collectors.Done()
 	buf := make([]record.Record, 0, sizeHint)
-	for b := range st.chans[i] {
+	for {
+		b, err := st.sh.Recv(i)
+		if err != nil {
+			st.recvErrs[i] = err
+			break
+		}
+		if b == nil {
+			break
+		}
 		buf = append(buf, b.Records()...)
 		record.PutBatch(b)
 	}
@@ -574,46 +669,15 @@ func chainBelow(p *optimizer.PhysPlan) ([]*optimizer.PhysPlan, *optimizer.PhysPl
 	return chain, node
 }
 
-// chainEmit pushes one record into the fused Map chain at the given level,
-// tallies exact per-level counts, and cascades every record leaving the
-// chain into sink. It is the record-at-a-time inner loop shared by the
-// chained-Map executor (sink appends to the output partition) and the
-// combining shuffle senders (sink routes into per-target batches).
-func (e *Engine) chainEmit(chain []*optimizer.PhysPlan, c []opCount, level int, r record.Record, sink func(record.Record) error) error {
-	if level == len(chain) {
-		return sink(r)
-	}
-	op := chain[level].Op
-	c[level].in++
-	res, err := e.interp.InvokeMap(op.UDF, r)
-	if err != nil {
-		return fmt.Errorf("engine: %s: %w", op.Name, err)
-	}
-	c[level].calls++
-	c[level].out += len(res)
-	for _, rr := range res {
-		if err := e.chainEmit(chain, c, level+1, rr, sink); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// chainFeed builds one goroutine's entry point into the fused Map chain,
-// honoring Engine.RowPath: the row path closes over the per-record chainEmit
-// recursion (a fresh interpreter frame and output slice per invocation); the
-// vectorized path pre-builds one reusable MapRunner and one emit closure per
-// chain level, so the steady-state loop allocates nothing per record beyond
-// the records the UDFs emit. Both feeds tally identical per-level counts and
-// cascade into the same sink, and UDF errors carry the same operator-name
-// wrapping (sink errors pass through unwrapped in both), so the two paths
-// are observationally identical — the property the differential suite pins.
+// chainFeed builds one goroutine's entry point into the fused Map chain:
+// one reusable MapRunner and one emit closure per chain level, so the
+// steady-state loop allocates nothing per record beyond the records the
+// UDFs emit. The feed tallies exact per-level counts and cascades every
+// record leaving the chain into sink (the chained-Map executor's sink
+// appends to the output partition; the combining shuffle senders' sink
+// routes into per-target accumulators). UDF errors carry operator-name
+// wrapping; sink errors pass through unwrapped.
 func (e *Engine) chainFeed(chain []*optimizer.PhysPlan, c []opCount, sink func(record.Record) error) (func(record.Record) error, error) {
-	if e.RowPath {
-		return func(r record.Record) error {
-			return e.chainEmit(chain, c, 0, r, sink)
-		}, nil
-	}
 	feed := sink
 	for level := len(chain) - 1; level >= 0; level-- {
 		op := chain[level].Op

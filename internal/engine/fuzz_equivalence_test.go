@@ -286,25 +286,21 @@ func TestRandomPipelinesTinyBudgetEquivalent(t *testing.T) {
 				}
 			}
 
-			// The same plan on the row execution path — unbudgeted and under
-			// the tiny budget — must be byte-identical to the columnar runs
-			// above, extending the sweep into a row/column differential.
-			e.RowPath = true
+			// The same plan on the legacy record-at-a-time shuffle (which
+			// disables combining and spilling) must be byte-identical to the
+			// batched runs above, extending the sweep into a differential
+			// against the retained baseline.
+			e.LegacyShuffle = true
 			e.MemoryBudget = 0
-			rowUnlimited, _, err := e.Run(phys)
+			legacyOut, _, err := e.Run(phys)
 			if err != nil {
-				t.Fatalf("trial %d plan %s (row path): %v", trial, a, err)
+				t.Fatalf("trial %d plan %s (legacy shuffle): %v", trial, a, err)
 			}
-			e.MemoryBudget = 96 * e.DOP
-			rowBudgeted, _, err := e.Run(phys)
-			if err != nil {
-				t.Fatalf("trial %d plan %s (row path, budgeted): %v", trial, a, err)
-			}
-			e.RowPath = false
-			requireByteIdentical(t, rowUnlimited, unlimited,
-				fmt.Sprintf("trial %d plan %s row vs columnar", trial, a))
-			requireByteIdentical(t, rowBudgeted, budgeted,
-				fmt.Sprintf("trial %d plan %s row vs columnar (budgeted)", trial, a))
+			e.LegacyShuffle = false
+			requireByteIdentical(t, legacyOut, unlimited,
+				fmt.Sprintf("trial %d plan %s legacy vs default", trial, a))
+			requireByteIdentical(t, legacyOut, budgeted,
+				fmt.Sprintf("trial %d plan %s legacy vs default (budgeted)", trial, a))
 
 			if i == 0 {
 				ref = budgeted
@@ -535,16 +531,17 @@ func reduce agg($g) {
 				}
 			}
 
-			// Row-path differential: the budgeted join (external merges and
-			// in-memory joins alike) must be byte-identical on both paths.
-			e.RowPath = true
-			rowBudgeted, _, err := e.Run(phys)
+			// Legacy differential: the budgeted join (external merges and
+			// in-memory joins alike) must be byte-identical to the retained
+			// record-at-a-time baseline, which never spills.
+			e.LegacyShuffle = true
+			legacyOut, _, err := e.Run(phys)
 			if err != nil {
-				t.Fatalf("trial %d plan %s (row path, budgeted): %v", trial, a, err)
+				t.Fatalf("trial %d plan %s (legacy shuffle, budgeted): %v", trial, a, err)
 			}
-			e.RowPath = false
-			requireByteIdentical(t, rowBudgeted, budgeted,
-				fmt.Sprintf("trial %d plan %s row vs columnar (budgeted)", trial, a))
+			e.LegacyShuffle = false
+			requireByteIdentical(t, legacyOut, budgeted,
+				fmt.Sprintf("trial %d plan %s legacy vs default (budgeted)", trial, a))
 
 			if i == 0 {
 				ref = budgeted

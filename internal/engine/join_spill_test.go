@@ -185,7 +185,10 @@ func TestBroadcastShipNoAliasing(t *testing.T) {
 	var in Partitioned = Partitioned{{
 		{record.Int(3)}, {record.Int(1)}, {record.Int(2)},
 	}}
-	out, bytes := e.ship(context.Background(), in, optimizer.ShipBroadcast, nil)
+	out, bytes, err := e.ship(context.Background(), in, optimizer.ShipBroadcast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != 3 {
 		t.Fatalf("broadcast produced %d partitions, want 3", len(out))
 	}

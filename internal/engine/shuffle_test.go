@@ -44,7 +44,10 @@ func TestShuffleCorrectnessAndDeterminism(t *testing.T) {
 				in[i%5] = append(in[i%5], r)
 			}
 
-			out, bytes := e.Shuffle(in, keys)
+			out, bytes, err := e.Shuffle(in, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(out) != dop {
 				t.Fatalf("shuffle produced %d partitions, want %d", len(out), dop)
 			}
@@ -63,7 +66,10 @@ func TestShuffleCorrectnessAndDeterminism(t *testing.T) {
 			}
 
 			// Determinism: re-running must yield the same bag per partition.
-			out2, _ := e.Shuffle(in, keys)
+			out2, _, err := e.Shuffle(in, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for p := range out {
 				if !record.DataSet(out[p]).Equal(record.DataSet(out2[p])) {
 					t.Fatalf("partition %d differs between two runs of the same shuffle", p)
@@ -73,7 +79,10 @@ func TestShuffleCorrectnessAndDeterminism(t *testing.T) {
 			// Equivalence with the per-record baseline, partition by
 			// partition (both paths use the same hash placement).
 			e.LegacyShuffle = true
-			legacy, legacyBytes := e.Shuffle(in, keys)
+			legacy, legacyBytes, err := e.Shuffle(in, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
 			e.LegacyShuffle = false
 			if legacyBytes != bytes {
 				t.Errorf("legacy path accounted %d bytes, batched %d", legacyBytes, bytes)
@@ -91,7 +100,10 @@ func TestShuffleCorrectnessAndDeterminism(t *testing.T) {
 // one partition) must not deadlock or drop records.
 func TestShuffleEdgeCases(t *testing.T) {
 	e := New(4)
-	out, bytes := e.Shuffle(make(Partitioned, 3), nil)
+	out, bytes, err := e.Shuffle(make(Partitioned, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Records() != 0 || bytes != 0 {
 		t.Errorf("empty shuffle: %d records, %d bytes", out.Records(), bytes)
 	}
@@ -100,7 +112,10 @@ func TestShuffleEdgeCases(t *testing.T) {
 	for i := 0; i < 3000; i++ {
 		skew[i%2] = append(skew[i%2], record.Record{record.Int(7), record.Int(int64(i))})
 	}
-	out, _ = e.Shuffle(skew, []int{0})
+	out, _, err = e.Shuffle(skew, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Records() != 3000 {
 		t.Fatalf("skewed shuffle kept %d of 3000 records", out.Records())
 	}

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/spill"
+	"blackboxflow/internal/transport"
 )
 
 // This file implements the engine's out-of-core execution path: shuffle
@@ -41,12 +41,6 @@ func closeSpills(spills []*partitionSpill) {
 			sp.file.Close()
 		}
 	}
-}
-
-// sortByKey stably sorts records by the key fields: ascending key order,
-// arrival order preserved within equal keys.
-func sortByKey(recs []record.Record, keys []int) {
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].CompareOn(recs[j], keys) < 0 })
 }
 
 // spillEligible reports whether this plan node executes through the
@@ -181,39 +175,44 @@ func (e *Engine) execSpillGrouped(ctx context.Context, p *optimizer.PhysPlan, st
 }
 
 // spillShuffle is the budget-tracked variant of shuffle: identical sender
-// topology (shuffleSend routes record.Batch units by key hash), but each
-// collector bounds its resident bytes at budget and sorts-and-spills its
-// buffer as a run on overflow. It returns the resident remainders, the
-// per-partition spill state (callers own the files until closeSpills), and
-// the shipped bytes.
+// topology (shuffleSend routes record.Batch units by key hash over the
+// transport session), but each collector bounds its resident bytes at
+// budget and sorts-and-spills its buffer as a run on overflow. It returns
+// the resident remainders, the per-partition spill state (callers own the
+// files until closeSpills), and the shipped bytes.
 func (e *Engine) spillShuffle(ctx context.Context, in Partitioned, keys []int, budget int) (Partitioned, []*partitionSpill, int, error) {
 	dop := e.DOP
-	st := &shuffleState{chans: make([]chan *record.Batch, dop)}
-	for i := range st.chans {
-		st.chans[i] = make(chan *record.Batch)
+	sh, err := e.transport().OpenShuffle(ctx, transport.Spec{Senders: len(in), Targets: dop})
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("engine: spill shuffle: %w", err)
 	}
+	stop := context.AfterFunc(ctx, func() { sh.Close() })
+	defer stop()
+	defer sh.Close()
+	st := &shuffleState{sh: sh, sendErrs: make([]error, len(in)), recvErrs: make([]error, dop)}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)
 	acc := make([]*record.Batch, len(in)*dop)
 	for si, part := range in {
-		go shuffleSend(ctx, st, acc[si*dop:(si+1)*dop], part, keys)
+		go shuffleSend(ctx, st, si, acc[si*dop:(si+1)*dop], part, keys)
 	}
 	out := make(Partitioned, dop)
 	spills := make([]*partitionSpill, dop)
-	for i := range st.chans {
+	for i := 0; i < dop; i++ {
 		spills[i] = &partitionSpill{}
 		go e.spillCollect(ctx, st, out, spills[i], i, keys, budget)
 	}
 	st.senders.Wait()
-	for _, c := range st.chans {
-		close(c)
-	}
 	st.collectors.Wait()
 	// A cancelled run must not hand half-shuffled partitions (or half-written
 	// runs) to the local strategy: close and unlink every spill file now.
 	if err := context.Cause(ctx); err != nil {
 		closeSpills(spills)
 		return nil, nil, 0, err
+	}
+	if err := st.firstErr(); err != nil {
+		closeSpills(spills)
+		return nil, nil, 0, fmt.Errorf("engine: spill shuffle: %w", err)
 	}
 	for _, sp := range spills {
 		if sp.err != nil {
@@ -242,13 +241,25 @@ func (e *Engine) spillShuffle(ctx context.Context, in Partitioned, keys []int, b
 // collector keeps draining (senders must never block) but discards the
 // drained records — the run is doomed and buffering its remainder would
 // grow residency without bound in exactly the memory-constrained setting
-// spilling exists for; the error surfaces from spillShuffle.
+// spilling exists for; the error surfaces from spillShuffle. A Recv error
+// is different: it is terminal for the stream (the transport guarantees no
+// more data follows, and any blocked sender is failed by the same
+// transport error, not unblocked by this collector), so the collector
+// records it and exits.
 func (e *Engine) spillCollect(ctx context.Context, st *shuffleState, out Partitioned, sp *partitionSpill, i int, keys []int, budget int) {
 	defer st.collectors.Done()
 	var buf []record.Record
 	resident := 0
 	maxBatch := 0
-	for b := range st.chans[i] {
+	for {
+		b, recvErr := st.sh.Recv(i)
+		if recvErr != nil {
+			st.recvErrs[i] = recvErr
+			break
+		}
+		if b == nil {
+			break
+		}
 		// Cancellation is treated like a disk error: keep draining (senders
 		// must never block) but stop buffering and stop writing runs. The
 		// caller sees the cancelled context and unlinks the partial files.

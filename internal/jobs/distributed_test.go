@@ -1,0 +1,161 @@
+package jobs
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/transport"
+)
+
+// startTestWorkers launches n in-process shuffle workers on loopback
+// listeners and returns their addresses. The wire, framing, placement, and
+// teardown are fully real; only the process boundary is elided (the
+// engine-level distributed suite also covers real cmd/flowworker
+// processes).
+func startTestWorkers(t *testing.T, n int) ([]string, []*transport.Worker) {
+	t.Helper()
+	addrs := make([]string, n)
+	workers := make([]*transport.Worker, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		w := transport.NewWorker(ln)
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+		workers[i] = w
+	}
+	return addrs, workers
+}
+
+// TestSchedulerDistributedJobs pins the jobs-layer half of the tentpole: a
+// scheduler configured with a worker fleet calibrates it at construction,
+// places every job's shuffles across the workers over a job-scoped TCP
+// transport, and produces results byte-identical to a single-process
+// scheduler running the same specs — including specs whose grants force
+// the spill path, so out-of-core execution and the wire compose.
+func TestSchedulerDistributedJobs(t *testing.T) {
+	addrs, _ := startTestWorkers(t, 2)
+
+	specs := []Spec{
+		groupSpec(t, 11, 6000, 4000),
+		joinSpec(t, 12, 3000, 2000),
+		groupSpec(t, 13, 6000, 4000),
+	}
+	for i := range specs {
+		specs[i].MemoryBudget = 64 << 10
+	}
+
+	local := New(Config{MaxConcurrent: 1, DOP: 4, SpillDir: t.TempDir()})
+	want := make([]record.DataSet, len(specs))
+	for i, spec := range specs {
+		j, err := local.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("local job %d: %v", i, err)
+		}
+		if stats.TotalSpillRuns() == 0 {
+			t.Fatalf("local job %d did not spill; the grant is not tight enough to prove anything", i)
+		}
+		want[i] = out
+	}
+
+	s := New(Config{MaxConcurrent: 2, DOP: 4, SpillDir: t.TempDir(),
+		Workers: addrs, LocalSlots: 1})
+	m := s.Metrics()
+	if m.NetBytesPerSec <= 0 {
+		t.Fatalf("startup calibration did not measure bandwidth: %+v", m)
+	}
+	handles := make([]*Job, len(specs))
+	for i, spec := range specs {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = j
+	}
+	for i, j := range handles {
+		out, stats, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("distributed job %d: %v", i, err)
+		}
+		mustEqual(t, out, want[i], j.Name())
+		if stats.TotalSpillRuns() == 0 {
+			t.Fatalf("distributed job %d did not spill", i)
+		}
+	}
+	m = s.Metrics()
+	if m.Workers != 2 || m.HealthyWorkers != 2 {
+		t.Errorf("fleet gauges: workers=%d healthy=%d, want 2/2", m.Workers, m.HealthyWorkers)
+	}
+	if m.WorkerFallbacks != 0 {
+		t.Errorf("healthy fleet produced %d fallbacks", m.WorkerFallbacks)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerWorkerHealthPlacement pins the health-check semantics: a
+// dead worker drops out of placement after one TTL (jobs keep succeeding
+// on the survivors), and with the whole fleet dead the scheduler falls
+// back to in-process execution — counted, not failed.
+func TestSchedulerWorkerHealthPlacement(t *testing.T) {
+	addrs, workers := startTestWorkers(t, 2)
+	const ttl = 50 * time.Millisecond
+
+	spec := groupSpec(t, 21, 3000, 100)
+	local := New(Config{MaxConcurrent: 1, DOP: 4})
+	j, err := local.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{MaxConcurrent: 1, DOP: 4, Workers: addrs, WorkerHealthTTL: ttl})
+	run := func(label string) {
+		t.Helper()
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		mustEqual(t, out, want, label)
+	}
+
+	run("full fleet")
+
+	// Kill one worker; after the TTL the next sweep must route around it.
+	workers[0].Close()
+	time.Sleep(ttl)
+	run("one worker down")
+	if h := s.Metrics().HealthyWorkers; h != 1 {
+		t.Errorf("after one worker died: healthy=%d, want 1", h)
+	}
+
+	// Kill the rest; the job must fall back to in-process execution.
+	workers[1].Close()
+	time.Sleep(ttl)
+	run("fleet down")
+	m := s.Metrics()
+	if m.HealthyWorkers != 0 {
+		t.Errorf("after fleet died: healthy=%d, want 0", m.HealthyWorkers)
+	}
+	if m.WorkerFallbacks == 0 {
+		t.Error("fleet-down job was not counted as a fallback")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"blackboxflow/internal/faultfs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
+	"blackboxflow/internal/transport"
 )
 
 // Sentinel errors of the scheduling layer.
@@ -118,6 +119,23 @@ type Config struct {
 	// Fault-injection harnesses install a faultfs.Injector here (see
 	// internal/faultfs and the chaos suite).
 	FS faultfs.FS
+	// Workers are flowworker addresses (cmd/flowworker) hosting remote
+	// shuffle partitions. When set, the scheduler calibrates the fleet at
+	// construction (feeding measured bandwidth and latency into plan
+	// ranking — optimizer.RankAllNet), health-checks it with TTL-cached
+	// pings, and runs each job over a job-scoped TCP transport across the
+	// workers that are currently healthy. Jobs fall back to the in-process
+	// channel transport when no worker answers (counted in
+	// Metrics.WorkerFallbacks). Empty means single-process execution.
+	Workers []string
+	// LocalSlots is the number of shuffle placement slots kept in the
+	// coordinator process per placement rotation when Workers are set
+	// (transport.TCPConfig.LocalSlots). Zero places every partition
+	// remotely.
+	LocalSlots int
+	// WorkerHealthTTL is how long one worker health sweep's verdict is
+	// reused before re-pinging. Zero means 5s.
+	WorkerHealthTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -364,11 +382,24 @@ type Metrics struct {
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
 
+	// WorkerFallbacks counts jobs that ran in-process because no
+	// configured worker answered its health check.
+	WorkerFallbacks int64 `json:"worker_fallbacks,omitempty"`
+
 	// Gauges.
 	Queued        int `json:"queued"`
 	Running       int `json:"running"`
 	GrantedBudget int `json:"granted_budget"`
 	GlobalBudget  int `json:"global_budget"`
+	// Workers is the configured flowworker fleet size; HealthyWorkers is
+	// how many answered the most recent health sweep (0 before any sweep).
+	Workers        int `json:"workers,omitempty"`
+	HealthyWorkers int `json:"healthy_workers,omitempty"`
+	// NetBytesPerSec and NetLatencySec are the fleet calibration measured
+	// at construction and fed into plan ranking (zero when calibration
+	// failed or no workers are configured).
+	NetBytesPerSec float64 `json:"net_bytes_per_sec,omitempty"`
+	NetLatencySec  float64 `json:"net_latency_sec,omitempty"`
 	// QueuedCost is the summed optimizer cost estimate of the queued
 	// jobs (the quantity MaxQueuedCost caps; zero with backpressure off).
 	QueuedCost float64 `json:"queued_cost"`
@@ -413,6 +444,11 @@ type Scheduler struct {
 	cfg       Config
 	pool      chan *engine.Engine
 	planCache *PlanCache // nil when caching is disabled
+	// workers is the flowworker fleet (nil when Config.Workers is empty);
+	// netProfile is its startup calibration (zero when calibration failed
+	// — plans then rank with the unmeasured raw-bytes Net term).
+	workers    *workerPool
+	netProfile optimizer.NetProfile
 
 	mu         sync.Mutex
 	queue      []*Job
@@ -440,6 +476,15 @@ func New(cfg Config) *Scheduler {
 	}
 	if cfg.PlanCacheSize > 0 {
 		s.planCache = newPlanCache(cfg.PlanCacheSize)
+	}
+	if len(cfg.Workers) > 0 {
+		s.workers = newWorkerPool(cfg.Workers, cfg.WorkerHealthTTL)
+		// Best-effort startup calibration: an unreachable fleet leaves the
+		// zero profile (raw-bytes Net term) and the health checks keep jobs
+		// off the dead workers.
+		if profile, err := calibrateWorkers(cfg.Workers); err == nil {
+			s.netProfile = profile
+		}
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		eng := engine.New(cfg.DOP)
@@ -690,7 +735,9 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 		if err != nil {
 			return nil, nil, fmt.Errorf("jobs: optimize: %w", err)
 		}
-		ranked := optimizer.RankAllBudget(tree, optimizer.NewEstimator(j.spec.Flow), dop, float64(j.grant))
+		// The measured transport profile (zero without workers) scales the
+		// ranking's Net term to the wire the job will actually cross.
+		ranked := optimizer.RankAllNet(tree, optimizer.NewEstimator(j.spec.Flow), dop, float64(j.grant), s.netProfile)
 		if len(ranked) == 0 {
 			return nil, nil, errors.New("jobs: optimizer produced no plan")
 		}
@@ -714,13 +761,15 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 	defer s.fs().RemoveAll(spillDir)
 
 	// Check out an engine; configure it for this job alone, and return it
-	// reset so no sources, budget, or spill state leaks to the next job.
+	// reset so no sources, budget, spill, or transport state leaks to the
+	// next job.
 	eng := <-s.pool
 	defer func() {
 		eng.Sources = map[string]record.DataSet{}
 		eng.MemoryBudget = 0
 		eng.SpillDir = ""
 		eng.DOP = s.cfg.DOP
+		eng.Transport = nil
 		s.pool <- eng
 	}()
 	eng.DOP = dop
@@ -729,6 +778,27 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 	eng.Sources = make(map[string]record.DataSet, len(j.spec.Sources))
 	for name, ds := range j.spec.Sources {
 		eng.Sources[name] = ds
+	}
+
+	// Job-scoped distributed placement: the job's shuffles run over a TCP
+	// transport spanning the currently healthy workers, and the transport's
+	// teardown (every worker connection of this job) rides the defer — a
+	// cancelled or failed job leaves nothing open on the fleet. With no
+	// healthy worker the job falls back to in-process execution rather than
+	// failing, and the fallback is counted.
+	if s.workers != nil {
+		if healthy := s.workers.healthyWorkers(); len(healthy) > 0 {
+			tp, terr := transport.NewTCP(transport.TCPConfig{Workers: healthy, LocalSlots: s.cfg.LocalSlots})
+			if terr != nil {
+				return nil, nil, fmt.Errorf("jobs: worker transport: %w", terr)
+			}
+			defer tp.Close()
+			eng.Transport = tp
+		} else {
+			s.mu.Lock()
+			s.m.WorkerFallbacks++
+			s.mu.Unlock()
+		}
 	}
 
 	return eng.RunContext(ctx, plan)
@@ -769,6 +839,12 @@ func (s *Scheduler) Metrics() Metrics {
 	m.GrantedBudget = s.granted
 	m.GlobalBudget = s.cfg.GlobalBudget
 	m.QueuedCost = s.queuedCost
+	if s.workers != nil {
+		m.Workers = len(s.cfg.Workers)
+		m.HealthyWorkers = s.workers.lastHealthy()
+		m.NetBytesPerSec = s.netProfile.BytesPerSec
+		m.NetLatencySec = s.netProfile.LatencySec
+	}
 	if s.planCache != nil {
 		m.FlowCacheHits, m.FlowCacheMisses, m.PlanCacheHits, m.PlanCacheMisses = s.planCache.counters()
 	}

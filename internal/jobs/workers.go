@@ -1,0 +1,104 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"blackboxflow/internal/optimizer"
+	"blackboxflow/internal/transport"
+)
+
+// workerPool tracks the scheduler's configured flowworker fleet. Placement
+// asks it which workers currently answer control pings; the sweep result
+// is cached for a TTL so admitting a burst of jobs does not turn into a
+// ping storm, and a worker that dies mid-fleet drops out of placement
+// within one TTL instead of failing every job placed on it forever.
+type workerPool struct {
+	addrs []string
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	checked time.Time
+	healthy []string
+}
+
+// defaultWorkerHealthTTL is how long one health sweep's verdict is reused.
+const defaultWorkerHealthTTL = 5 * time.Second
+
+// workerPingTimeout bounds one health-check ping.
+const workerPingTimeout = 2 * time.Second
+
+func newWorkerPool(addrs []string, ttl time.Duration) *workerPool {
+	if ttl <= 0 {
+		ttl = defaultWorkerHealthTTL
+	}
+	return &workerPool{addrs: append([]string(nil), addrs...), ttl: ttl}
+}
+
+// healthyWorkers returns the workers that answered the most recent health
+// sweep, running a fresh concurrent ping sweep when the cached verdict is
+// older than the TTL. The lock is not held across the network round trips,
+// so concurrent callers at TTL expiry may sweep redundantly — harmless,
+// and it keeps placement from ever blocking behind a slow ping.
+func (p *workerPool) healthyWorkers() []string {
+	p.mu.Lock()
+	if time.Since(p.checked) < p.ttl {
+		h := p.healthy
+		p.mu.Unlock()
+		return h
+	}
+	p.mu.Unlock()
+
+	alive := make([]bool, len(p.addrs))
+	var wg sync.WaitGroup
+	for i, addr := range p.addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), workerPingTimeout)
+			defer cancel()
+			alive[i] = transport.Ping(ctx, addr, nil) == nil
+		}(i, addr)
+	}
+	wg.Wait()
+	healthy := make([]string, 0, len(p.addrs))
+	for i, ok := range alive {
+		if ok {
+			healthy = append(healthy, p.addrs[i])
+		}
+	}
+	p.mu.Lock()
+	p.checked = time.Now()
+	p.healthy = healthy
+	p.mu.Unlock()
+	return healthy
+}
+
+// lastHealthy returns the cached sweep verdict without refreshing it (for
+// metrics snapshots, which must not do network IO).
+func (p *workerPool) lastHealthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.healthy)
+}
+
+// calibrateWorkers measures the fleet's shuffle bandwidth and round-trip
+// latency once (transport.Calibrate's ping and echo rounds against every
+// worker) and maps the result into the optimizer's cost units. The
+// scheduler runs this at construction and feeds the profile into every
+// job's plan ranking.
+func calibrateWorkers(addrs []string) (optimizer.NetProfile, error) {
+	tp, err := transport.NewTCP(transport.TCPConfig{Workers: addrs})
+	if err != nil {
+		return optimizer.NetProfile{}, err
+	}
+	defer tp.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cal, err := tp.Calibrate(ctx)
+	if err != nil {
+		return optimizer.NetProfile{}, err
+	}
+	return optimizer.NetProfile{BytesPerSec: cal.BytesPerSec, LatencySec: cal.RTT.Seconds()}, nil
+}

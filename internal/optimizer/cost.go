@@ -30,6 +30,46 @@ type Weights struct {
 // relational plans and UDF CPU dominates the text-mining plans.
 var DefaultWeights = Weights{Net: 1.0, Disk: 0.3, CPU: 1.0}
 
+// ReferenceNetBytesPerSec is the network the DefaultWeights are calibrated
+// against: the 1 GbE cluster of the paper's evaluation (~125 MB/s). A
+// measured transport's Net term is scaled relative to this reference, so a
+// slower network inflates shuffle costs and a faster one deflates them
+// while the Disk and CPU components keep their meaning.
+const ReferenceNetBytesPerSec = 125e6
+
+// NetProfile is the measured shape of the transport a plan will execute
+// on — a transport.Calibration mapped into cost-model units. The zero
+// profile means "unmeasured": the Net term stays raw shipped bytes,
+// exactly the pre-transport behavior (and what Engine.NetBandwidth
+// simulates on the channel transport).
+type NetProfile struct {
+	// BytesPerSec is the measured shuffle bandwidth; <= 0 leaves byte
+	// costs unscaled.
+	BytesPerSec float64
+	// LatencySec is the measured round-trip time charged once per shuffle
+	// barrier a plan performs (a forward ship has none).
+	LatencySec float64
+}
+
+// IsZero reports whether the profile carries no measurement.
+func (p NetProfile) IsZero() bool { return p.BytesPerSec <= 0 && p.LatencySec <= 0 }
+
+// cost converts raw shipped bytes plus a number of shuffle barriers into
+// the model's Net unit ("reference-network bytes"): bytes are scaled by
+// how much slower than the reference the measured link is, and each
+// barrier is charged the bytes the reference network would move during one
+// measured round trip.
+func (p NetProfile) cost(bytes float64, shuffles int) float64 {
+	if p.IsZero() {
+		return bytes
+	}
+	cost := bytes
+	if p.BytesPerSec > 0 {
+		cost = bytes * ReferenceNetBytesPerSec / p.BytesPerSec
+	}
+	return cost + float64(shuffles)*p.LatencySec*ReferenceNetBytesPerSec
+}
+
 // Total folds a cost into a scalar with the given weights.
 func (c Cost) Total(w Weights) float64 {
 	return w.Net*c.Net + w.Disk*c.Disk + w.CPU*c.CPU

@@ -184,6 +184,13 @@ type PhysicalOptimizer struct {
 	// combinable, forward-shipping, or broadcast alternatives exactly when
 	// the budget is tight.
 	MemoryBudget float64
+	// Net is the measured profile of the transport the plan will run on
+	// (see NetProfile): every shuffled or broadcast edge's byte volume is
+	// scaled against ReferenceNetBytesPerSec and charged the measured
+	// round-trip latency per shuffle barrier. The zero profile keeps the
+	// Net term as raw bytes — the simulated-network behavior all
+	// single-process runs use.
+	Net NetProfile
 
 	memo map[string][]*PhysPlan
 }
@@ -320,8 +327,10 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 			// smaller) volume, which is how tight budgets steer enumeration
 			// toward combinable and forward-shipping alternatives.
 			var spillDisk float64
+			shuffles := 0
 			if ship == ShipPartition {
 				spillDisk = spillCost(net, po.MemoryBudget)
+				shuffles = 1
 			}
 			for _, local := range []Local{LocalSortGroup, LocalHashGroup} {
 				n := in.OutRecords
@@ -341,7 +350,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 					Ship: []Shipping{ship}, Local: local, Combinable: combinable,
 					Partitioned: key.Clone(),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: in.Cost.Plus(Cost{Net: net, Disk: spillDisk, CPU: po.Est.CPUCost(t) + localCPU}),
+					Cost: in.Cost.Plus(Cost{Net: po.Net.cost(net, shuffles), Disk: spillDisk, CPU: po.Est.CPUCost(t) + localCPU}),
 				})
 			}
 		}
@@ -370,7 +379,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 					Ship: ship, Local: LocalNestedLoop,
 					Partitioned: ins[big].Partitioned,
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: po.Net.cost(net, 1),
 						Disk: po.broadcastSpillCost(ins[small].OutBytes),
 						CPU:  po.Est.CPUCost(t)}),
 				})
@@ -406,7 +415,7 @@ func (po *PhysicalOptimizer) plans(t *Tree, memo map[string][]*PhysPlan) []*Phys
 					Ship: ship, Local: LocalSortCoGrp,
 					Partitioned: lKey.Clone(),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net, Disk: spillDisk, CPU: po.Est.CPUCost(t) + sortCPU}),
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: po.Net.cost(net, len(shuffledVols)), Disk: spillDisk, CPU: po.Est.CPUCost(t) + sortCPU}),
 				})
 			}
 		}
@@ -500,7 +509,7 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 					Ship: ship, Local: LocalHashJoin, BuildSide: build,
 					Partitioned: keys[0].Clone().UnionWith(keys[1]),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: po.Net.cost(net, len(shuffledVols)),
 						Disk: po.shuffledSpillCost(shuffledVols),
 						CPU:  po.Est.CPUCost(t) + cpu}),
 				})
@@ -517,7 +526,7 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 					Ship: ship, Local: LocalHashJoin, BuildSide: bc,
 					Partitioned: ins[1-bc].Partitioned,
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: po.Net.cost(net, 1),
 						Disk: po.broadcastSpillCost(ins[bc].OutBytes),
 						CPU:  po.Est.CPUCost(t) + cpu}),
 				})
@@ -543,7 +552,7 @@ func (po *PhysicalOptimizer) joinPlans(t *Tree, memo map[string][]*PhysPlan) []*
 					Ship: ship, Local: LocalMergeJoin,
 					Partitioned: keys[0].Clone().UnionWith(keys[1]),
 					OutRecords:  po.Est.Records(t), OutBytes: po.Est.Bytes(t),
-					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: net,
+					Cost: l.Cost.Plus(r.Cost).Plus(Cost{Net: po.Net.cost(net, len(shuffledVols)),
 						Disk: po.shuffledSpillCost(shuffledVols),
 						CPU:  po.Est.CPUCost(t) + cpu}),
 				})
@@ -607,10 +616,21 @@ func RankAll(t *Tree, est *Estimator, dop int) []RankedPlan {
 // threaded into the physical optimizer, so the ranking includes the
 // spill-aware disk term for shuffled grouping operators.
 func RankAllBudget(t *Tree, est *Estimator, dop int, memoryBudget float64) []RankedPlan {
+	return RankAllNet(t, est, dop, memoryBudget, NetProfile{})
+}
+
+// RankAllNet is RankAllBudget with a measured transport profile threaded
+// into the physical optimizer: shuffle byte volumes are scaled against the
+// reference network and every shuffle barrier is charged the measured
+// round-trip latency, so rankings computed for a distributed deployment
+// reflect the wire the job will actually cross. The zero profile makes it
+// exactly RankAllBudget.
+func RankAllNet(t *Tree, est *Estimator, dop int, memoryBudget float64, net NetProfile) []RankedPlan {
 	enum := NewEnumerator()
 	alts := enum.Enumerate(t)
 	po := NewPhysicalOptimizer(est, dop)
 	po.MemoryBudget = memoryBudget
+	po.Net = net
 	ranked := make([]RankedPlan, 0, len(alts))
 	for _, a := range alts {
 		phys := po.Optimize(a)

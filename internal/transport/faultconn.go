@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the connection seam's fault injector — faultfs for the
+// wire. A FaultDialer wraps the TCP transport's Dialer and fires one
+// deterministic fault at a chosen connection-operation index (1-based,
+// counted across the Read and Write calls of every connection it dialed):
+// dropping the connection mid-operation, or stalling it. The schedule is a
+// pure function of (operation index, fault kind), so a failing chaos run
+// replays exactly; the fault fires once and the dialer is a passthrough
+// afterwards, which is what lets the chaos suite assert the single-fault
+// invariants — the run surfaces a job error (never a hang), nothing
+// leaks, and the same engine immediately afterwards runs fault-free.
+
+// ErrInjectedConn is the error a dropped connection operation returns.
+var ErrInjectedConn = errors.New("transport: injected connection fault")
+
+// IsInjectedConn reports whether err is (or wraps) an injected connection
+// fault.
+func IsInjectedConn(err error) bool { return errors.Is(err, ErrInjectedConn) }
+
+// ConnFault enumerates the injectable connection faults.
+type ConnFault uint8
+
+const (
+	// ConnDrop closes the connection under the operation and fails it —
+	// a peer reset or a cut cable mid-batch. Both directions of the
+	// connection die, exactly as a real drop behaves.
+	ConnDrop ConnFault = iota
+	// ConnStall delays the operation (FaultDialer.Delay, default 2ms) and
+	// then lets it proceed — transient congestion; must not surface an
+	// error.
+	ConnStall
+	nConnFaults
+)
+
+func (k ConnFault) String() string {
+	switch k {
+	case ConnDrop:
+		return "conndrop"
+	case ConnStall:
+		return "connstall"
+	}
+	return fmt.Sprintf("connfault(%d)", uint8(k))
+}
+
+// FaultDialer wraps a Dialer and fires one deterministic connection fault:
+// the first Read or Write whose global operation index reaches At. An At
+// of zero (or negative) never fires — a counting-only dialer, used to
+// measure how many fault points a workload exposes. Safe for concurrent
+// use.
+type FaultDialer struct {
+	// Inner makes the real connections; nil dials TCP.
+	Inner Dialer
+	// At is the 1-based operation index the fault arms at; <=0 disables.
+	At int64
+	// Kind is the fault to fire.
+	Kind ConnFault
+	// Delay is the ConnStall duration; default 2ms.
+	Delay time.Duration
+
+	ops   atomic.Int64
+	fired atomic.Bool
+}
+
+// SeededConnFault derives a single-fault schedule from seed: a fault kind
+// and an operation index in [1, maxOps], both pure functions of the seed.
+func SeededConnFault(inner Dialer, seed, maxOps int64) *FaultDialer {
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	// The same splitmix-style derivation the chaos suites use elsewhere:
+	// cheap, stateless, deterministic.
+	h := uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return &FaultDialer{Inner: inner, At: 1 + int64(h%uint64(maxOps)), Kind: ConnFault(h >> 33 % uint64(nConnFaults))}
+}
+
+// Ops returns how many connection operations the dialer has observed.
+func (d *FaultDialer) Ops() int64 { return d.ops.Load() }
+
+// Fired reports whether the scheduled fault has been injected.
+func (d *FaultDialer) Fired() bool { return d.fired.Load() }
+
+// DialContext dials through the inner dialer and wraps the connection in
+// the fault schedule.
+func (d *FaultDialer) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	inner := d.Inner
+	if inner == nil {
+		inner = netDialer{}
+	}
+	conn, err := inner.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: conn, d: d}, nil
+}
+
+// step counts one operation and reports whether the fault fires on it.
+func (d *FaultDialer) step() bool {
+	n := d.ops.Add(1)
+	if d.At <= 0 || n < d.At {
+		return false
+	}
+	return d.fired.CompareAndSwap(false, true)
+}
+
+// faultConn threads a connection's Reads and Writes through the schedule.
+type faultConn struct {
+	net.Conn
+	d *FaultDialer
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.d.step() {
+		if c.d.Kind == ConnStall {
+			c.stall()
+		} else {
+			c.Conn.Close()
+			return 0, fmt.Errorf("transport: read: %w", ErrInjectedConn)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.d.step() {
+		if c.d.Kind == ConnStall {
+			c.stall()
+		} else {
+			c.Conn.Close()
+			return 0, fmt.Errorf("transport: write: %w", ErrInjectedConn)
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) stall() {
+	d := c.d.Delay
+	if d <= 0 {
+		d = 2 * time.Millisecond
+	}
+	time.Sleep(d)
+}

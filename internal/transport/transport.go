@@ -1,0 +1,118 @@
+// Package transport moves the bytes of non-forward shipping between the
+// partitions of a flow. The engine decides *what* moves — which records,
+// to which target partition, in which record.Batch units — and a Transport
+// decides *how* the bytes get there: Channel reproduces the in-process
+// unbuffered-channel shuffle the engine always had, byte for byte, while
+// TCP frames the record wire codec over sockets to flowworker processes
+// hosting remote partitions (see DESIGN.md "Transport layer").
+//
+// A shuffle session is push-based and partition-addressed: the engine runs
+// one sender goroutine per source partition calling Send(target, batch) and
+// one collector goroutine per target partition calling Recv(target) until
+// end of stream. Ownership of a batch passes to the transport on Send: the
+// channel transport hands the pointer through unchanged (zero copies), the
+// TCP transport encodes it, recycles it, and the receiving side decodes
+// fresh pooled batches — so byte accounting done by the engine before Send
+// (Batch.EncodedSize) is identical across transports.
+package transport
+
+import (
+	"context"
+	"time"
+
+	"blackboxflow/internal/record"
+)
+
+// Transport kinds, as reported by Kind().
+const (
+	KindChannel = "channel"
+	KindTCP     = "tcp"
+)
+
+// Spec describes one shuffle session: how many sender goroutines will push
+// batches in and how many target partitions collect them.
+type Spec struct {
+	// Senders is the number of sender goroutines. Each must call
+	// SenderDone exactly once; end of stream reaches the targets after the
+	// last one does.
+	Senders int
+	// Targets is the number of target partitions (the engine's DOP).
+	Targets int
+}
+
+// Shuffle is one open shuffle session. Send/SenderDone are safe for
+// concurrent use by the session's sender goroutines; Recv(t) must only be
+// called by t's single collector goroutine.
+type Shuffle interface {
+	// Send delivers one batch to a target partition, blocking until the
+	// transport has taken it (channel handoff or socket write). Ownership
+	// of b passes to the transport. A non-nil error is sticky for the
+	// session (the sender should stop).
+	Send(target int, b *record.Batch) error
+
+	// SenderDone records that one sender finished. After Spec.Senders
+	// calls, every target's receive stream terminates (Recv returns nil,
+	// nil once in-flight batches drain).
+	SenderDone()
+
+	// Recv returns the next batch for a target; (nil, nil) signals end of
+	// stream. The caller owns the returned batch (record.PutBatch when
+	// drained). A non-nil error is terminal for the target's stream: no
+	// more batches will arrive and the collector must stop — senders are
+	// unblocked by the same failure, never by the collector giving up.
+	Recv(target int) (*record.Batch, error)
+
+	// Close releases the session's resources. Closing a live session
+	// aborts it: blocked Sends and Recvs on network paths unblock with an
+	// error (in-process channel paths rely on the engine's own
+	// cancellation instead, exactly as before the transport split).
+	// Idempotent; safe to call from a context.AfterFunc.
+	Close() error
+}
+
+// Transport owns the byte movement of a flow's non-forward shipping.
+// Implementations must support concurrent shuffle sessions, though the
+// engine opens them one at a time.
+type Transport interface {
+	// OpenShuffle starts a shuffle session. The context covers session
+	// setup (dialing workers); cancellation afterwards is the caller's
+	// job via Shuffle.Close.
+	OpenShuffle(ctx context.Context, spec Spec) (Shuffle, error)
+
+	// Broadcast replicates the full input to each of copies target
+	// partitions and returns the replicas plus the bytes shipped —
+	// the input's wire size once per copy, the same accounting on every
+	// transport.
+	Broadcast(ctx context.Context, full []record.Record, copies int) ([][]record.Record, int, error)
+
+	// Calibrate measures the transport's effective shuffle bandwidth and
+	// per-round-trip latency (see Calibration). In-process transports
+	// report a zero Calibration: no interconnect to price.
+	Calibrate(ctx context.Context) (Calibration, error)
+
+	// Kind names the transport ("channel", "tcp").
+	Kind() string
+
+	// Close releases transport-wide resources (worker connections).
+	Close() error
+}
+
+// Calibration is a measured transport profile: what a shipped byte and a
+// shuffle round trip actually cost on this interconnect. The optimizer
+// feeds it into the cost model in place of the simulated NetBandwidth
+// term (optimizer.NetProfile). The zero value means "in-process, no
+// interconnect" and leaves the cost model untouched.
+type Calibration struct {
+	// BytesPerSec is the effective shuffle bandwidth: payload bytes moved
+	// per wall-clock second through a full shuffle hop (for TCP that is
+	// coordinator → worker → coordinator, the double hop every remotely
+	// placed batch pays).
+	BytesPerSec float64
+	// RTT is the small-message round-trip time to a worker.
+	RTT time.Duration
+}
+
+// IsZero reports whether no calibration was measured.
+func (c Calibration) IsZero() bool {
+	return c.BytesPerSec <= 0 && c.RTT <= 0
+}
