@@ -19,6 +19,7 @@ import (
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/engine"
 	"blackboxflow/internal/experiments"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/sca"
@@ -431,7 +432,10 @@ func map f3($ir) {
 // BenchmarkShuffle compares the batched shuffle executor against the
 // retained per-record baseline on an identical 200k-record repartition at
 // DOP 8. The measured ratios (≥2x throughput, ≥5x fewer allocations for
-// batched) are recorded in BENCH_shuffle.json.
+// batched) are recorded in BENCH_shuffle.json. The "traced" mode runs the
+// batched executor with a span recorder attached — tracing is always on in
+// the service tier, so its cost is gated like a regression: cmd/benchguard
+// fails if traced/batched exceeds 1.05x.
 func BenchmarkShuffle(b *testing.B) {
 	const n = 200000
 	rng := rand.New(rand.NewSource(42))
@@ -451,17 +455,27 @@ func BenchmarkShuffle(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
 		legacy bool
+		traced bool
 	}{
-		{"batched", false},
-		{"per-record", true},
+		{"batched", false, false},
+		{"per-record", true, false},
+		{"traced", false, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			e := engine.New(8)
 			e.LegacyShuffle = mode.legacy
+			var tr *obs.Trace
+			if mode.traced {
+				tr = obs.NewTrace("bench")
+				e.Trace = tr
+			}
 			b.SetBytes(int64(total))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				if tr != nil {
+					tr.Reset("bench")
+				}
 				out, bytes, err := e.Shuffle(in, keys)
 				if err != nil {
 					b.Fatal(err)

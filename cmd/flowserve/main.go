@@ -17,8 +17,16 @@
 //	GET  /jobs/{id}/result rows of a succeeded job; ?stream=1 writes rows
 //	                       incrementally instead of buffering the document
 //	POST /jobs/{id}/cancel evict a queued job / stop a running one
-//	GET  /metrics          scheduler admission + plan-cache metrics
+//	GET  /jobs/{id}/trace  the job's execution span tree (compile, queue
+//	                       wait, optimize, per-operator ship/spill/merge,
+//	                       per-worker transport); ?format=chrome emits
+//	                       Chrome trace_event JSON for Perfetto
+//	GET  /metrics          scheduler metrics: JSON by default,
+//	                       ?format=prom for Prometheus text exposition
 //	GET  /healthz          liveness (503 while draining)
+//
+// With -pprof-addr, net/http/pprof is served on a separate listener (keep
+// it off public interfaces). Logs are structured (log/slog, text format).
 //
 // With -workers, every job's shuffles run across the named flowworker
 // processes (cmd/flowworker) over the TCP transport: the fleet is
@@ -42,8 +50,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -71,7 +80,10 @@ func main() {
 	maxJobs := flag.Int("max-jobs", defaultMaxJobs, "registry size that evicts oldest finished jobs (0 = unbounded)")
 	workers := flag.String("workers", "", "comma-separated flowworker addresses for distributed shuffles (empty = single-process)")
 	localSlots := flag.Int("local-slots", 0, "shuffle placement slots kept in this process per rotation when -workers is set (0 = all partitions remote)")
+	pprofAddr := flag.String("pprof-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	flag.Parse()
+
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	var workerAddrs []string
 	if *workers != "" {
@@ -105,30 +117,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The profiling surface is opt-in and on its own listener: pprof
+	// handlers sit on the DefaultServeMux (via the net/http/pprof import),
+	// which the API listener's custom mux never serves.
+	if *pprofAddr != "" {
+		go func() {
+			slog.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				slog.Error("pprof server", "err", err)
+			}
+		}()
+	}
+
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		log.Printf("flowserve: draining (waiting up to %v for accepted jobs)", *drainTimeout)
+		slog.Info("draining", "drain_timeout", *drainTimeout)
 		srv.draining.Store(true)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := sched.Shutdown(drainCtx); err != nil {
-			log.Printf("flowserve: drain deadline passed, remaining jobs cancelled: %v", err)
+			slog.Warn("drain deadline passed, remaining jobs cancelled", "err", err)
 		}
 		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel2()
 		httpSrv.Shutdown(shutCtx)
 	}()
 
-	log.Printf("flowserve: listening on %s (budget=%d B, slots=%d, queue=%d, dop=%d)",
-		*addr, *globalBudget, *maxConcurrent, *maxQueue, *dop)
+	slog.Info("listening", "addr", *addr, "budget_bytes", *globalBudget,
+		"slots", *maxConcurrent, "queue", *maxQueue, "dop", *dop)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("flowserve: %v", err)
+		slog.Error("listener failed", "err", err)
+		os.Exit(1)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// httpSrv.Shutdown's in-flight-handler grace before exiting, or
 	// clients mid-response get their connections reset.
 	<-drained
-	log.Printf("flowserve: drained, bye")
+	slog.Info("drained, bye")
 }

@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -16,6 +16,7 @@ import (
 
 	"blackboxflow/internal/engine"
 	"blackboxflow/internal/jobs"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/record"
 )
 
@@ -110,6 +111,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -152,7 +154,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		// The status line is out the door; all we can do is make the
 		// truncation visible instead of silently serving a partial body.
-		log.Printf("flowserve: writing response: %v", err)
+		slog.Warn("writing response", "err", err)
 	}
 }
 
@@ -283,20 +285,64 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out, _, err := j.Result()
+	withStats := false
+	if v := r.URL.Query().Get("stats"); v != "" {
+		var err error
+		if withStats, err = strconv.ParseBool(v); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad stats value %q (want a boolean)", v)
+			return
+		}
+	}
+	out, stats, err := j.Result()
+	// ?stats=1 appends the run's per-operator statistics to the result
+	// document (both the buffered and the streaming form; their bytes stay
+	// identical because "stats" sorts after "id" and "rows" in the buffered
+	// map encoding).
+	var perOp []engine.OpStats
+	if withStats && stats != nil {
+		perOp = stats.PerOp
+	}
 	switch {
 	case errors.Is(err, jobs.ErrNotFinished):
 		writeJSON(w, http.StatusAccepted, viewOf(j))
 	case err != nil:
 		writeJSON(w, failureStatus(j), viewOf(j))
 	case stream:
-		streamResult(w, j.ID, out)
+		streamResult(w, j.ID, out, perOp)
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{
+		doc := map[string]any{
 			"id":   j.ID,
 			"rows": jobs.EncodeRows(out),
-		})
+		}
+		if perOp != nil {
+			doc["stats"] = perOp
+		}
+		writeJSON(w, http.StatusOK, doc)
 	}
+}
+
+// handleTrace serves the job's span tree: nested JSON by default,
+// Chrome trace_event format (openable in Perfetto or chrome://tracing)
+// with ?format=chrome. The trace is readable at any job state — live spans
+// of a running job simply have no end time yet.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	tr := j.Trace()
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, "job %d has no trace", j.ID)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			slog.Warn("writing chrome trace", "job", j.ID, "err", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Tree())
 }
 
 // streamResult writes the result document incrementally, row by row, with
@@ -307,12 +353,12 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 // TestResultStreamingMatchesBuffered): rows sit at the same indentation
 // json.Encoder's SetIndent("", "  ") produces, via json.Indent with the
 // row's nesting prefix.
-func streamResult(w http.ResponseWriter, id int64, out record.DataSet) {
+func streamResult(w http.ResponseWriter, id int64, out record.DataSet, perOp []engine.OpStats) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	var buf bytes.Buffer
-	fail := func(err error) { log.Printf("flowserve: streaming result of job %d: %v", id, err) }
+	fail := func(err error) { slog.Warn("streaming result", "job", id, "err", err) }
 	if _, err := fmt.Fprintf(w, "{\n  \"id\": %d,\n  \"rows\": [", id); err != nil {
 		fail(err)
 		return
@@ -341,11 +387,32 @@ func streamResult(w http.ResponseWriter, id int64, out record.DataSet) {
 			flusher.Flush()
 		}
 	}
-	tail := "]\n}\n"
+	closeRows := "]"
 	if len(out) > 0 {
-		tail = "\n  ]\n}\n"
+		closeRows = "\n  ]"
 	}
-	if _, err := io.WriteString(w, tail); err != nil {
+	if _, err := io.WriteString(w, closeRows); err != nil {
+		fail(err)
+		return
+	}
+	if perOp != nil {
+		b, err := json.Marshal(perOp)
+		if err != nil {
+			fail(err)
+			return
+		}
+		buf.Reset()
+		buf.WriteString(",\n  \"stats\": ")
+		if err := json.Indent(&buf, b, "  ", "  "); err != nil {
+			fail(err)
+			return
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			fail(err)
+			return
+		}
+	}
+	if _, err := io.WriteString(w, "\n}\n"); err != nil {
 		fail(err)
 	}
 }
@@ -371,7 +438,18 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Metrics())
+	m := s.sched.Metrics()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, m)
+	case "prom":
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := writeProm(w, m); err != nil {
+			slog.Warn("writing prometheus metrics", "err", err)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "bad format %q (want json or prom)", format)
+	}
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -2,13 +2,16 @@
 // engine: it serves the transport wire protocol (internal/transport) on a
 // TCP listener, relaying framed record batches between the shuffle senders
 // and collectors of coordinator processes and answering their control
-// pings and calibration rounds.
+// pings and calibration rounds. Each ping's reply carries the worker's
+// lifetime relay totals (data frames and bytes), so coordinators collect
+// per-worker traffic stats with the same round trip that checks health.
 //
 //	flowworker -listen 127.0.0.1:0
 //
 // The first stdout line is the resolved listen address (meaningful with a
 // ":0" ephemeral port) — the contract coordinators and test harnesses use
-// to discover where the worker landed. Everything else goes to stderr.
+// to discover where the worker landed. Everything else goes to stderr as
+// structured log/slog output.
 //
 // A worker holds no job state beyond its live connections: every shuffle
 // session and its buffers are scoped to one coordinator connection, so a
@@ -22,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -35,27 +38,32 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "listen address (\":0\" picks an ephemeral port, printed on stdout)")
 	flag.Parse()
 
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("flowworker: %v", err)
+		slog.Error("listen failed", "addr", *listen, "err", err)
+		os.Exit(1)
 	}
 	w := transport.NewWorker(ln)
 
 	// The resolved address is the only stdout output: parseable by whatever
 	// launched us.
 	fmt.Println(w.Addr())
-	log.Printf("flowworker: serving shuffle transport on %s", w.Addr())
+	slog.Info("serving shuffle transport", "addr", w.Addr())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigs
-		log.Printf("flowworker: %v, shutting down", sig)
+		slog.Info("shutting down", "signal", sig.String())
 		w.Close()
 	}()
 
 	if err := w.Serve(); err != nil && !errors.Is(err, net.ErrClosed) {
-		log.Fatalf("flowworker: %v", err)
+		slog.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("flowworker: bye")
+	frames, bytes := w.RelayStats()
+	slog.Info("bye", "relay_frames", frames, "relay_bytes", bytes)
 }

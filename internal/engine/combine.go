@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/transport"
@@ -56,9 +57,17 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 		return nil, err
 	}
 
+	tr := e.Trace
+	opSpan := tr.Begin(e.TraceParent, op.Name, obs.KindOp)
+	combSpan := tr.Begin(opSpan, "combine-ship", obs.KindCombine)
+	e.curShip = combSpan
+
 	shipStart := time.Now()
 	shuffled, spills, counts, bytes, err := e.combineShuffle(ctx, base, chain, op, keys)
+	e.curShip = 0
 	if err != nil {
+		tr.Fail(combSpan, err)
+		tr.Fail(opSpan, err)
 		return nil, err
 	}
 	defer closeSpills(spills)
@@ -67,7 +76,17 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 		netDelay(ctx, want-time.Since(shipStart))
 	}
 	shipElapsed := time.Since(shipStart)
+	var combinerCalls int
+	for si := range counts {
+		combinerCalls += counts[si].combinerCalls
+	}
+	tr.EndWith(combSpan, func(s *obs.Span) {
+		s.Bytes = int64(bytes)
+		s.Calls = int64(combinerCalls)
+	})
+	e.foldSpillSpans(opSpan, spills)
 
+	localSpan := tr.Begin(opSpan, "local", obs.KindLocal)
 	localStart := time.Now()
 	var out Partitioned
 	var calls int
@@ -80,6 +99,8 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 		out, calls, err = e.local(ctx, p, []Partitioned{shuffled})
 	}
 	if err != nil {
+		tr.Fail(localSpan, err)
+		tr.Fail(opSpan, err)
 		return nil, err
 	}
 	localElapsed := time.Since(localStart)
@@ -90,6 +111,7 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 	// with the remainder on the Reduce's ShipTime, mirroring execChain's
 	// attribution rule.
 	share := shipElapsed / time.Duration(len(chain)+1)
+	spanAt := shipStart
 	for level, cp := range chain {
 		st := OpStats{Name: cp.Op.Name, LocalTime: share}
 		for si := range counts {
@@ -98,6 +120,20 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 			st.UDFCalls += counts[si].chain[level].calls
 		}
 		stats.PerOp = append(stats.PerOp, st)
+		// The chained Maps fused into the combining senders get share-tiled
+		// spans over the ship window, mirroring the LocalTime attribution.
+		if tr != nil {
+			tr.Import(e.TraceParent, obs.Span{
+				Name:    cp.Op.Name,
+				Kind:    obs.KindOp,
+				Start:   spanAt,
+				End:     spanAt.Add(share),
+				Records: int64(st.OutRecords),
+				Calls:   int64(st.UDFCalls),
+				Detail:  "fused into combining senders",
+			})
+			spanAt = spanAt.Add(share)
+		}
 	}
 	st := OpStats{
 		Name: op.Name, ShippedBytes: bytes, UDFCalls: calls,
@@ -115,6 +151,15 @@ func (e *Engine) execCombinedReduce(ctx context.Context, p *optimizer.PhysPlan, 
 			st.SpillRuns += len(sp.runs)
 		}
 	}
+	e.observeShip(&st)
+	e.mergeSpan(localSpan, localStart, &st)
+	tr.EndWith(localSpan, func(s *obs.Span) { s.Calls = int64(calls) })
+	tr.EndWith(opSpan, func(s *obs.Span) {
+		s.Records = int64(st.OutRecords)
+		s.Bytes = int64(bytes)
+		s.Calls = int64(st.CombinerCalls)
+		s.Runs = int64(st.SpillRuns)
+	})
 	stats.PerOp = append(stats.PerOp, st)
 	return out, nil
 }
@@ -138,6 +183,13 @@ func (e *Engine) combineShuffle(ctx context.Context, in Partitioned, chain []*op
 	stop := context.AfterFunc(ctx, func() { sh.Close() })
 	defer stop()
 	defer sh.Close()
+	var wireStart time.Time
+	if e.Trace != nil {
+		wireStart = time.Now()
+		// Per-worker transport spans nest under the caller's combine-ship
+		// span; fold once the senders and collectors have drained.
+		defer func() { e.foldWireSpans(e.shipParent(), sh, wireStart) }()
+	}
 	st := &shuffleState{sh: sh, sendErrs: make([]error, len(in)), recvErrs: make([]error, dop)}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)

@@ -41,6 +41,7 @@ import (
 
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/faultfs"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/tac"
@@ -229,6 +230,33 @@ type Engine struct {
 	// exact operation indices (see internal/faultfs and the chaos suite).
 	FS faultfs.FS
 
+	// Trace, when set, receives one span per executed operator with child
+	// spans for its ship/combine/spill-write/merge/local phases and — on
+	// transports that report per-worker traffic — per-worker transport
+	// spans carrying bytes and frame counts. Spans are recorded at
+	// operator granularity, never per record, so tracing costs a handful
+	// of mutex acquisitions per operator. Nil (the default) disables
+	// tracing; every hook reduces to a nil check. The scheduler installs
+	// a per-job trace here and clears it on engine reset.
+	Trace *obs.Trace
+
+	// TraceParent is the span operator spans attach under — the job's
+	// "run" phase span when the scheduler drives the engine. Zero attaches
+	// them to the trace root.
+	TraceParent obs.SpanID
+
+	// Hists, when set, receives histogram observations from the execution
+	// paths: per-operator ship wall time and per-run spill sizes. The
+	// histograms are shared and scheduler-owned (they survive engine
+	// resets); nil disables observation.
+	Hists *obs.EngineHists
+
+	// curShip is the op-level ship span open while exec ships an
+	// operator's inputs, so shuffle sessions nest their spans under it.
+	// Only the exec goroutine touches it (plan execution is sequential;
+	// parallelism lives inside the ship/local phases).
+	curShip obs.SpanID
+
 	// NetBandwidth simulates a cluster interconnect: when positive, every
 	// non-forward shipping step takes at least shippedBytes/NetBandwidth
 	// seconds of wall time. The paper's evaluation ran on 1 GbE, where
@@ -376,7 +404,24 @@ func (e *Engine) exec(ctx context.Context, p *optimizer.PhysPlan, stats *RunStat
 		st.InRecords += in.Records()
 	}
 
-	// Ship each input according to the plan's strategy.
+	tr := e.Trace
+	opSpan := tr.Begin(e.TraceParent, op.Name, obs.KindOp)
+
+	// Ship each input according to the plan's strategy. The op-level ship
+	// span only opens when some input actually moves (non-forward), so
+	// source/forward operators don't accrete empty phase spans.
+	shipNeeded := false
+	for i := range inputs {
+		if i < len(p.Ship) && p.Ship[i] != optimizer.ShipForward {
+			shipNeeded = true
+			break
+		}
+	}
+	var shipSpan obs.SpanID
+	if shipNeeded {
+		shipSpan = tr.Begin(opSpan, "ship", obs.KindShip)
+		e.curShip = shipSpan
+	}
 	shipStart := time.Now()
 	for i := range inputs {
 		if i >= len(p.Ship) {
@@ -389,13 +434,23 @@ func (e *Engine) exec(ctx context.Context, p *optimizer.PhysPlan, stats *RunStat
 		shipped, bytes, err := e.ship(ctx, inputs[i], p.Ship[i], keys)
 		st.ShippedBytes += bytes
 		if err != nil {
+			e.curShip = 0
+			if shipNeeded {
+				tr.Fail(shipSpan, err)
+			}
+			tr.Fail(opSpan, err)
 			return nil, err
 		}
 		inputs[i] = shipped
 	}
+	e.curShip = 0
 	// A cancelled shuffle returns partial partitions; discard them rather
 	// than let a truncated input masquerade as the operator's real input.
 	if err := context.Cause(ctx); err != nil {
+		if shipNeeded {
+			tr.Fail(shipSpan, err)
+		}
+		tr.Fail(opSpan, err)
 		return nil, err
 	}
 	if e.NetBandwidth > 0 && st.ShippedBytes > 0 {
@@ -403,15 +458,27 @@ func (e *Engine) exec(ctx context.Context, p *optimizer.PhysPlan, stats *RunStat
 		netDelay(ctx, want-time.Since(shipStart))
 	}
 	st.ShipTime = time.Since(shipStart)
+	if shipNeeded {
+		tr.EndWith(shipSpan, func(s *obs.Span) { s.Bytes = int64(st.ShippedBytes) })
+	}
+	e.observeShip(&st)
 
+	localSpan := tr.Begin(opSpan, "local", obs.KindLocal)
 	localStart := time.Now()
 	out, calls, err := e.local(ctx, p, inputs)
 	if err != nil {
+		tr.Fail(localSpan, err)
+		tr.Fail(opSpan, err)
 		return nil, err
 	}
 	st.LocalTime = time.Since(localStart)
 	st.UDFCalls = calls
 	st.OutRecords = out.Records()
+	tr.EndWith(localSpan, func(s *obs.Span) { s.Calls = int64(calls) })
+	tr.EndWith(opSpan, func(s *obs.Span) {
+		s.Records = int64(st.OutRecords)
+		s.Bytes = int64(st.ShippedBytes)
+	})
 	stats.PerOp = append(stats.PerOp, st)
 	return out, nil
 }
@@ -492,6 +559,12 @@ func (e *Engine) shuffle(ctx context.Context, in Partitioned, keys []int) (Parti
 	stop := context.AfterFunc(ctx, func() { sh.Close() })
 	defer stop()
 	defer sh.Close()
+	var span obs.SpanID
+	var spanStart time.Time
+	if e.Trace != nil {
+		spanStart = time.Now()
+		span = e.Trace.Begin(e.shipParent(), "shuffle", obs.KindShip)
+	}
 	st := &shuffleState{sh: sh, sendErrs: make([]error, len(in)), recvErrs: make([]error, dop)}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)
@@ -511,8 +584,20 @@ func (e *Engine) shuffle(ctx context.Context, in Partitioned, keys []int) (Parti
 	st.senders.Wait()
 	st.collectors.Wait()
 	bytes := int(st.bytes.Load())
+	if e.Trace != nil {
+		e.foldWireSpans(span, sh, spanStart)
+	}
 	if err := st.firstErr(); err != nil {
+		if e.Trace != nil {
+			e.Trace.Fail(span, err)
+		}
 		return nil, bytes, fmt.Errorf("engine: shuffle: %w", err)
+	}
+	if e.Trace != nil {
+		e.Trace.EndWith(span, func(s *obs.Span) {
+			s.Bytes = int64(bytes)
+			s.Records = int64(in.Records())
+		})
 	}
 	return out, bytes, nil
 }
@@ -761,6 +846,7 @@ func (e *Engine) execChain(ctx context.Context, p *optimizer.PhysPlan, stats *Ru
 		}
 	}
 	share := elapsed / time.Duration(nOps)
+	spanAt := start
 	for level, cp := range chain {
 		st := OpStats{Name: cp.Op.Name, LocalTime: share}
 		for i := range counts {
@@ -769,6 +855,21 @@ func (e *Engine) execChain(ctx context.Context, p *optimizer.PhysPlan, stats *Ru
 			st.UDFCalls += counts[i][level].calls
 		}
 		stats.PerOp = append(stats.PerOp, st)
+		// One span per fused operator: the chain's wall time is attributed
+		// evenly (the same rule as LocalTime), so the spans tile the fused
+		// loop's interval in chain order.
+		if e.Trace != nil {
+			e.Trace.Import(e.TraceParent, obs.Span{
+				Name:    cp.Op.Name,
+				Kind:    obs.KindOp,
+				Start:   spanAt,
+				End:     spanAt.Add(share),
+				Records: int64(st.OutRecords),
+				Calls:   int64(st.UDFCalls),
+				Detail:  "fused chain",
+			})
+			spanAt = spanAt.Add(share)
+		}
 	}
 	return out, nil
 }

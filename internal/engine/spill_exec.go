@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blackboxflow/internal/dataflow"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/spill"
@@ -32,6 +33,14 @@ type partitionSpill struct {
 	runs  []spill.Run
 	bytes int
 	err   error
+
+	// Write-phase locals for the trace: when the first run is written and
+	// how much wall time the sort+write passes took in total. Accumulated
+	// collector-locally (each collector owns its partitionSpill) and folded
+	// into one pre-timed spill-write span per partition at operator end
+	// (Engine.foldSpillSpans) — the hot loop never touches the trace.
+	writeStart time.Time
+	writeDur   time.Duration
 }
 
 // closeSpills releases the spill files of one shuffle's partitions.
@@ -119,6 +128,11 @@ func (e *Engine) execSpillGrouped(ctx context.Context, p *optimizer.PhysPlan, st
 		}
 	}()
 
+	tr := e.Trace
+	opSpan := tr.Begin(e.TraceParent, op.Name, obs.KindOp)
+	shipSpan := tr.Begin(opSpan, "ship", obs.KindShip)
+	e.curShip = shipSpan
+
 	shipStart := time.Now()
 	for i := range inputs {
 		if p.Ship[i] != optimizer.ShipPartition {
@@ -130,12 +144,16 @@ func (e *Engine) execSpillGrouped(ctx context.Context, p *optimizer.PhysPlan, st
 		}
 		resident, sps, bytes, err := e.spillShuffle(ctx, inputs[i], keys, budget)
 		if err != nil {
+			e.curShip = 0
+			tr.Fail(shipSpan, err)
+			tr.Fail(opSpan, err)
 			return nil, err
 		}
 		inputs[i] = resident
 		spills[i] = sps
 		st.ShippedBytes += bytes
 	}
+	e.curShip = 0
 	if e.NetBandwidth > 0 && st.ShippedBytes > 0 {
 		want := time.Duration(float64(st.ShippedBytes) / e.NetBandwidth * float64(time.Second))
 		netDelay(ctx, want-time.Since(shipStart))
@@ -149,7 +167,13 @@ func (e *Engine) execSpillGrouped(ctx context.Context, p *optimizer.PhysPlan, st
 			}
 		}
 	}
+	tr.EndWith(shipSpan, func(s *obs.Span) { s.Bytes = int64(st.ShippedBytes) })
+	e.observeShip(&st)
+	for _, sps := range spills {
+		e.foldSpillSpans(opSpan, sps)
+	}
 
+	localSpan := tr.Begin(opSpan, "local", obs.KindLocal)
 	localStart := time.Now()
 	var out Partitioned
 	var calls int
@@ -165,11 +189,20 @@ func (e *Engine) execSpillGrouped(ctx context.Context, p *optimizer.PhysPlan, st
 		err = fmt.Errorf("engine: %s is not a spillable grouping operator", op.Kind)
 	}
 	if err != nil {
+		tr.Fail(localSpan, err)
+		tr.Fail(opSpan, err)
 		return nil, err
 	}
 	st.LocalTime = time.Since(localStart)
 	st.UDFCalls = calls
 	st.OutRecords = out.Records()
+	e.mergeSpan(localSpan, localStart, &st)
+	tr.EndWith(localSpan, func(s *obs.Span) { s.Calls = int64(calls) })
+	tr.EndWith(opSpan, func(s *obs.Span) {
+		s.Records = int64(st.OutRecords)
+		s.Bytes = int64(st.ShippedBytes)
+		s.Runs = int64(st.SpillRuns)
+	})
 	stats.PerOp = append(stats.PerOp, st)
 	return out, nil
 }
@@ -189,6 +222,12 @@ func (e *Engine) spillShuffle(ctx context.Context, in Partitioned, keys []int, b
 	stop := context.AfterFunc(ctx, func() { sh.Close() })
 	defer stop()
 	defer sh.Close()
+	var span obs.SpanID
+	var spanStart time.Time
+	if e.Trace != nil {
+		spanStart = time.Now()
+		span = e.Trace.Begin(e.shipParent(), "shuffle", obs.KindShip)
+	}
 	st := &shuffleState{sh: sh, sendErrs: make([]error, len(in)), recvErrs: make([]error, dop)}
 	st.senders.Add(len(in))
 	st.collectors.Add(dop)
@@ -204,23 +243,39 @@ func (e *Engine) spillShuffle(ctx context.Context, in Partitioned, keys []int, b
 	}
 	st.senders.Wait()
 	st.collectors.Wait()
+	bytes := int(st.bytes.Load())
+	if e.Trace != nil {
+		e.foldWireSpans(span, sh, spanStart)
+	}
+	fail := func(err error) {
+		if e.Trace != nil {
+			e.Trace.Fail(span, err)
+		}
+		closeSpills(spills)
+	}
 	// A cancelled run must not hand half-shuffled partitions (or half-written
 	// runs) to the local strategy: close and unlink every spill file now.
 	if err := context.Cause(ctx); err != nil {
-		closeSpills(spills)
+		fail(err)
 		return nil, nil, 0, err
 	}
 	if err := st.firstErr(); err != nil {
-		closeSpills(spills)
+		fail(err)
 		return nil, nil, 0, fmt.Errorf("engine: spill shuffle: %w", err)
 	}
 	for _, sp := range spills {
 		if sp.err != nil {
-			closeSpills(spills)
+			fail(sp.err)
 			return nil, nil, 0, sp.err
 		}
 	}
-	return out, spills, int(st.bytes.Load()), nil
+	if e.Trace != nil {
+		e.Trace.EndWith(span, func(s *obs.Span) {
+			s.Bytes = int64(bytes)
+			s.Records = int64(in.Records())
+		})
+	}
+	return out, spills, bytes, nil
 }
 
 // spillCollect drains one target partition's channel like shuffleCollect,
@@ -280,6 +335,10 @@ func (e *Engine) spillCollect(ctx context.Context, st *shuffleState, out Partiti
 		if resident <= max(budget, maxBatch) || len(buf) == 0 {
 			continue
 		}
+		writeAt := time.Now()
+		if sp.writeStart.IsZero() {
+			sp.writeStart = writeAt
+		}
 		e.sortRecs(buf, keys)
 		if sp.file == nil {
 			if sp.file, sp.err = spill.CreateIn(e.fs(), e.SpillDir); sp.err != nil {
@@ -293,6 +352,10 @@ func (e *Engine) spillCollect(ctx context.Context, st *shuffleState, out Partiti
 		}
 		sp.runs = append(sp.runs, run)
 		sp.bytes += int(run.Length)
+		sp.writeDur += time.Since(writeAt)
+		if e.Hists != nil {
+			e.Hists.SpillRunBytes.Observe(float64(run.Length))
+		}
 		clear(buf)
 		buf = buf[:0]
 		resident = 0

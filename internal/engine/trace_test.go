@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"testing"
+
+	"blackboxflow/internal/obs"
+	"blackboxflow/internal/record"
+	"blackboxflow/internal/transport"
+)
+
+// This file pins the engine's span recording: every execution path
+// (combined, spilled, distributed) must yield a span tree whose phases and
+// counters reconcile with the run's OpStats, and attaching a trace must not
+// change per-shuffle allocation behavior beyond a small constant.
+
+// tracedRun executes one distributed-suite pipeline with a fresh trace
+// attached and returns the trace and run statistics.
+func tracedRun(t *testing.T, pl distPipeline, dop int, tp transport.Transport, spillDir string) (*obs.Trace, *RunStats) {
+	t.Helper()
+	e := New(dop)
+	e.Transport = tp
+	e.MemoryBudget = pl.budget
+	e.SpillDir = spillDir
+	tr := obs.NewTrace(pl.name)
+	e.Trace = tr
+	for name, ds := range pl.sources {
+		e.AddSource(name, ds)
+	}
+	if _, stats, err := e.Run(pl.build(t, dop)); err != nil {
+		t.Fatalf("%s: %v", pl.name, err)
+	} else {
+		return tr, stats
+	}
+	return nil, nil
+}
+
+// spansOfKind filters a trace's flat span table by kind.
+func spansOfKind(tr *obs.Trace, kind string) []obs.Span {
+	var out []obs.Span
+	for _, s := range tr.Spans() {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func findSpan(tr *obs.Trace, kind, name string) (obs.Span, bool) {
+	for _, s := range tr.Spans() {
+		if s.Kind == kind && s.Name == name {
+			return s, true
+		}
+	}
+	return obs.Span{}, false
+}
+
+// TestTraceCombinedReduce pins the span tree of the combining-sender path:
+// the Reduce's operator span carries the shipped bytes and combiner calls
+// of its OpStats, the combine-ship and local phases nest under it, and
+// every span is closed.
+func TestTraceCombinedReduce(t *testing.T) {
+	pl := distPipelines(t)[0] // combined-reduce
+	tr, stats := tracedRun(t, pl, 4, nil, "")
+
+	op, ok := findSpan(tr, obs.KindOp, "wcount")
+	if !ok {
+		t.Fatalf("no operator span for wcount; spans:\n%s", tr.Table())
+	}
+	var st *OpStats
+	for i := range stats.PerOp {
+		if stats.PerOp[i].Name == "wcount" {
+			st = &stats.PerOp[i]
+		}
+	}
+	if st == nil {
+		t.Fatal("no OpStats for wcount")
+	}
+	if op.Bytes != int64(st.ShippedBytes) {
+		t.Fatalf("op span bytes %d != OpStats shipped %d", op.Bytes, st.ShippedBytes)
+	}
+	if op.Calls != int64(st.CombinerCalls) || op.Calls == 0 {
+		t.Fatalf("op span calls %d != combiner calls %d (want nonzero)", op.Calls, st.CombinerCalls)
+	}
+	comb, ok := findSpan(tr, obs.KindCombine, "combine-ship")
+	if !ok || comb.Parent != op.ID {
+		t.Fatalf("combine-ship span missing or not under wcount (ok=%v parent=%d op=%d)", ok, comb.Parent, op.ID)
+	}
+	if comb.Bytes != int64(st.ShippedBytes) {
+		t.Fatalf("combine span bytes %d != shipped %d", comb.Bytes, st.ShippedBytes)
+	}
+	foundLocal := false
+	for _, s := range spansOfKind(tr, obs.KindLocal) {
+		if s.Parent == op.ID {
+			foundLocal = true
+		}
+	}
+	if !foundLocal {
+		t.Fatalf("no local span under wcount; spans:\n%s", tr.Table())
+	}
+	// Every recorded span is closed and clean. The root stays open here —
+	// a bare engine run has no scheduler to finalize the job span.
+	for _, s := range tr.Spans()[1:] {
+		if s.End.IsZero() {
+			t.Fatalf("span %q (%s) left open", s.Name, s.Kind)
+		}
+		if s.Err != "" {
+			t.Fatalf("span %q failed on a clean run: %s", s.Name, s.Err)
+		}
+	}
+}
+
+// TestTraceSpilledJoin pins the spill path's spans: per-partition
+// spill-write spans whose run totals reconcile with the stats, and a merge
+// span on the local phase that consumed the runs.
+func TestTraceSpilledJoin(t *testing.T) {
+	pl := distPipelines(t)[1] // budgeted-join
+	tr, stats := tracedRun(t, pl, 8, nil, t.TempDir())
+	if stats.TotalSpillRuns() == 0 {
+		t.Fatal("budgeted join did not spill; the trace has nothing to pin")
+	}
+
+	var spillRuns, spillBytes int64
+	for _, s := range spansOfKind(tr, obs.KindSpill) {
+		if s.Runs == 0 || s.Bytes == 0 {
+			t.Fatalf("spill-write span %q has empty counters: %+v", s.Name, s)
+		}
+		if s.End.Before(s.Start) {
+			t.Fatalf("spill-write span %q ends before it starts", s.Name)
+		}
+		spillRuns += s.Runs
+		spillBytes += s.Bytes
+	}
+	if spillRuns != int64(stats.TotalSpillRuns()) {
+		t.Fatalf("spill spans carry %d runs, stats say %d", spillRuns, stats.TotalSpillRuns())
+	}
+	merges := spansOfKind(tr, obs.KindMerge)
+	if len(merges) == 0 {
+		t.Fatalf("no merge span on a spilling run; spans:\n%s", tr.Table())
+	}
+	var mergeRuns int64
+	for _, m := range merges {
+		mergeRuns += m.Runs
+	}
+	if mergeRuns != spillRuns {
+		t.Fatalf("merge spans consumed %d runs, spill spans wrote %d", mergeRuns, spillRuns)
+	}
+}
+
+// TestDistributedTraceSpans pins the per-worker transport spans of a
+// distributed run: a combined reduce shipped across two workers must
+// record one transport span per worker connection, attributed to the
+// worker's address and carrying its frame and byte traffic. (Named
+// 'Distributed' so the CI distributed job runs it against real flowworker
+// processes.)
+func TestDistributedTraceSpans(t *testing.T) {
+	addrs := startWorkerAddrs(t, 2)
+	tp, err := transport.NewTCP(transport.TCPConfig{Workers: addrs, LocalSlots: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	pl := distPipelines(t)[0] // combined-reduce
+	tr, stats := tracedRun(t, pl, 8, tp, "")
+	if stats.TotalShippedBytes() == 0 {
+		t.Fatal("nothing shipped")
+	}
+
+	workers := map[string]bool{}
+	for _, a := range addrs {
+		workers[a] = true
+	}
+	spans := spansOfKind(tr, obs.KindTransport)
+	if len(spans) == 0 {
+		t.Fatalf("no transport spans on a distributed run; spans:\n%s", tr.Table())
+	}
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !workers[s.Worker] {
+			t.Fatalf("transport span attributed to unknown worker %q", s.Worker)
+		}
+		if s.Frames == 0 || s.Bytes == 0 {
+			t.Fatalf("transport span for %s has no traffic: %+v", s.Worker, s)
+		}
+		parent := tr.Spans()[s.Parent]
+		if parent.Kind != obs.KindShip && parent.Kind != obs.KindCombine {
+			t.Fatalf("transport span parented under %q (kind %s), want a ship/combine span", parent.Name, parent.Kind)
+		}
+		seen[s.Worker] = true
+	}
+	if len(seen) != len(addrs) {
+		t.Fatalf("transport spans cover %d workers, want %d", len(seen), len(addrs))
+	}
+}
+
+// TestTracedShuffleAllocOverhead pins the always-on claim at the
+// allocation level: attaching a trace to a shuffle must cost at most a
+// small constant number of allocations (span table reuse via Reset, no
+// per-record work).
+func TestTracedShuffleAllocOverhead(t *testing.T) {
+	in := make(Partitioned, 4)
+	for i := 0; i < 2000; i++ {
+		in[i%4] = append(in[i%4], record.Record{record.Int(int64(i % 97)), record.Int(int64(i))})
+	}
+	keys := []int{0}
+
+	run := func(e *Engine, pre func()) float64 {
+		return testing.AllocsPerRun(20, func() {
+			pre()
+			if _, _, err := e.Shuffle(in, keys); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plain := run(New(4), func() {})
+	e := New(4)
+	tr := obs.NewTrace("alloc")
+	e.Trace = tr
+	traced := run(e, func() { tr.Reset("alloc") })
+
+	if delta := traced - plain; delta > 16 {
+		t.Fatalf("tracing adds %.0f allocs per shuffle (plain %.0f, traced %.0f); span recording must stay O(1)", delta, plain, traced)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blackboxflow/internal/faultfs"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/record"
 )
 
@@ -143,6 +144,79 @@ func TestFaultSchedulerReleasesOnDiskError(t *testing.T) {
 		if err := s.Shutdown(context.Background()); err != nil {
 			t.Fatalf("%s: shutdown: %v", label, err)
 		}
+	}
+}
+
+// TestFaultTraceAttribution pins the observability half of the failure
+// model: a job killed by an injected disk fault must leave a finalized
+// trace — root span closed and carrying the job's error — with the
+// failure attributed to a span below the root (the phase that absorbed
+// it), and the pooled engine's reset must not leak spans from the faulted
+// job into the next job's trace.
+func TestFaultTraceAttribution(t *testing.T) {
+	dir := t.TempDir()
+	// at=3 fails the first spill-file create or write inside the engine.
+	inj := faultfs.NewInjector(faultfs.OS{}, 3, faultfs.ENOSPC)
+	s := New(Config{MaxConcurrent: 1, DOP: 4, SpillDir: dir, FS: inj})
+
+	j, err := s.Submit(spillingGroupSpec(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jerr := waitTerminal(t, j, "faulted job")
+	if jerr == nil {
+		t.Fatal("job succeeded; the fault never reached it")
+	}
+
+	tr := j.Trace()
+	root := tr.Spans()[0]
+	if root.End.IsZero() {
+		t.Fatal("faulted job's root span left open")
+	}
+	if root.Err != jerr.Error() {
+		t.Fatalf("root span error %q, want the job error %q", root.Err, jerr.Error())
+	}
+	attributed := false
+	for _, sp := range tr.Spans()[1:] {
+		if sp.Err != "" {
+			attributed = true
+		}
+		if sp.End.IsZero() {
+			t.Fatalf("span %q (%s) left open on the faulted job", sp.Name, sp.Kind)
+		}
+	}
+	if !attributed {
+		t.Fatalf("no span below the root carries the failure; trace:\n%s", tr.Table())
+	}
+	frozen := tr.Len()
+
+	// The engine went back to the pool; the next job gets its own trace and
+	// the faulted job's stays frozen — no spans leak across the reset.
+	j2, err := s.Submit(spillingGroupSpec(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := waitTerminal(t, j2, "rerun"); err != nil {
+		t.Fatalf("rerun on the faulted job's engine failed: %v", err)
+	}
+	if tr.Len() != frozen {
+		t.Fatalf("faulted job's trace grew from %d to %d spans after its engine ran another job", frozen, tr.Len())
+	}
+	tr2 := j2.Trace()
+	if tr2 == tr {
+		t.Fatal("rerun shares the faulted job's trace")
+	}
+	if tr2.Spans()[0].Err != "" {
+		t.Fatalf("clean rerun's root span carries an error: %q", tr2.Spans()[0].Err)
+	}
+	ops := 0
+	for _, sp := range tr2.Spans() {
+		if sp.Kind == obs.KindOp {
+			ops++
+		}
+	}
+	if ops == 0 {
+		t.Fatalf("rerun's trace has no operator spans; trace:\n%s", tr2.Table())
 	}
 }
 

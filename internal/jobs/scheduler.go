@@ -37,6 +37,7 @@ import (
 	"blackboxflow/internal/dataflow"
 	"blackboxflow/internal/engine"
 	"blackboxflow/internal/faultfs"
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/record"
 	"blackboxflow/internal/transport"
@@ -184,6 +185,16 @@ type Spec struct {
 	// Deadline bounds the job's run wall time (measured from admission,
 	// not submission). Zero falls back to Config.JobTimeout.
 	Deadline time.Duration
+	// CompileStart and CompileEnd bracket the document's compilation
+	// (PactScript compile, flow build, static analysis). ParseScriptJob
+	// sets them; Submit folds the window into the job's trace as a
+	// pre-timed "compile" span. A zero CompileStart means no compile phase
+	// (programmatically built Specs).
+	CompileStart time.Time
+	CompileEnd   time.Time
+	// CompileCached marks the compile window as a flow-cache hit (the
+	// compiled flow was reused; only data decoding ran).
+	CompileCached bool
 }
 
 // State is a job's lifecycle phase.
@@ -238,6 +249,12 @@ type Job struct {
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 
+	// trace is the job's span tree, created at submission and finalized by
+	// finish. The root span (ID 0) covers submission→terminal; queueSpan is
+	// the open admission-wait child (0 once closed).
+	trace     *obs.Trace
+	queueSpan obs.SpanID
+
 	// Everything below is guarded by s.mu.
 	state     State
 	cancel    context.CancelCauseFunc // set at admission
@@ -252,6 +269,11 @@ type Job struct {
 
 // Name returns the job's label from its spec.
 func (j *Job) Name() string { return j.spec.Name }
+
+// Trace returns the job's span tree. It is live while the job runs (spans
+// keep being recorded) and complete once the job is terminal; readers get
+// consistent snapshots either way.
+func (j *Job) Trace() *obs.Trace { return j.trace }
 
 // Tenant returns the tenant the job is attributed to ("" = anonymous).
 func (j *Job) Tenant() string { return j.spec.Tenant }
@@ -345,7 +367,10 @@ func (j *Job) Cancel() {
 	s.mu.Unlock()
 }
 
-// finish moves the job to its terminal state. Caller holds s.mu.
+// finish moves the job to its terminal state and finalizes its trace: the
+// admission-wait span is closed if still open (queue evictions), and the
+// root span ends carrying the job's identity, output size, and — for failed
+// jobs — the attributed error. Caller holds s.mu.
 func (j *Job) finish(err error) {
 	j.err = err
 	j.finished = time.Now()
@@ -356,6 +381,21 @@ func (j *Job) finish(err error) {
 		j.state = StateCancelled
 	default:
 		j.state = StateFailed
+	}
+	if j.trace != nil {
+		if j.queueSpan != 0 {
+			j.trace.End(j.queueSpan)
+			j.queueSpan = 0
+		}
+		id, tenant, state := j.ID, j.spec.Tenant, j.state.String()
+		records := int64(len(j.output))
+		j.trace.EndWith(0, func(s *obs.Span) {
+			if err != nil {
+				s.Err = err.Error()
+			}
+			s.Records = records
+			s.Detail = fmt.Sprintf("id=%d tenant=%q %s", id, tenant, state)
+		})
 	}
 	close(j.done)
 }
@@ -404,6 +444,20 @@ type Metrics struct {
 	// jobs (the quantity MaxQueuedCost caps; zero with backpressure off).
 	QueuedCost float64 `json:"queued_cost"`
 
+	// UptimeSec is the scheduler's age in seconds.
+	UptimeSec float64 `json:"uptime_sec"`
+
+	// Histograms are the scheduler's latency and size distributions, keyed
+	// by metric name (job_latency_seconds, queue_wait_seconds,
+	// shuffle_ship_seconds, spill_run_bytes, worker_ping_seconds). The same
+	// snapshots back the Prometheus exposition.
+	Histograms map[string]obs.HistSnapshot `json:"histograms,omitempty"`
+
+	// WorkerNet holds per-worker relay traffic totals and health-check
+	// RTTs, keyed by worker address (present once a health sweep reached
+	// the worker).
+	WorkerNet map[string]WorkerNetStats `json:"worker_net,omitempty"`
+
 	// High-water marks.
 	PeakGrantedBudget int `json:"peak_granted_budget"`
 	PeakRunning       int `json:"peak_running"`
@@ -449,6 +503,9 @@ type Scheduler struct {
 	// — plans then rank with the unmeasured raw-bytes Net term).
 	workers    *workerPool
 	netProfile optimizer.NetProfile
+	// obs holds the scheduler-lifetime histograms and start time; pooled
+	// engines share its EngineHists across resets.
+	obs *schedObs
 
 	mu         sync.Mutex
 	queue      []*Job
@@ -473,12 +530,13 @@ func New(cfg Config) *Scheduler {
 		pool:     make(chan *engine.Engine, cfg.MaxConcurrent),
 		inFlight: map[*Job]struct{}{},
 		tenants:  map[string]*tenantState{},
+		obs:      newSchedObs(),
 	}
 	if cfg.PlanCacheSize > 0 {
 		s.planCache = newPlanCache(cfg.PlanCacheSize)
 	}
 	if len(cfg.Workers) > 0 {
-		s.workers = newWorkerPool(cfg.Workers, cfg.WorkerHealthTTL)
+		s.workers = newWorkerPool(cfg.Workers, cfg.WorkerHealthTTL, s.obs.pingRTT)
 		// Best-effort startup calibration: an unreachable fleet leaves the
 		// zero profile (raw-bytes Net term) and the health checks keep jobs
 		// off the dead workers.
@@ -489,6 +547,8 @@ func New(cfg Config) *Scheduler {
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		eng := engine.New(cfg.DOP)
 		eng.FS = cfg.FS
+		// The histogram set outlives every job; engine resets keep it.
+		eng.Hists = s.obs.engine
 		s.pool <- eng
 	}
 	return s
@@ -603,6 +663,29 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	// The job's trace opens here and closes in finish: root span = the
+	// whole submission→terminal window. The document's compile time
+	// happened before submission (ParseScriptJob), so it folds in as a
+	// pre-timed span; the admission wait opens now and dispatch closes it.
+	name := spec.Name
+	if name == "" {
+		name = "job"
+	}
+	j.trace = obs.NewTrace(name)
+	if !spec.CompileStart.IsZero() {
+		detail := ""
+		if spec.CompileCached {
+			detail = "flow-cache hit"
+		}
+		j.trace.Import(0, obs.Span{
+			Name:   "compile",
+			Kind:   obs.KindPhase,
+			Start:  spec.CompileStart,
+			End:    spec.CompileEnd,
+			Detail: detail,
+		})
+	}
+	j.queueSpan = j.trace.Begin(0, "queue", obs.KindPhase)
 	s.queue = append(s.queue, j)
 	ts.queued++
 	s.queuedCost += cost
@@ -679,6 +762,9 @@ func (s *Scheduler) dispatchLocked() {
 		s.inFlight[head] = struct{}{}
 		head.state = StateRunning
 		head.started = time.Now()
+		head.trace.End(head.queueSpan)
+		head.queueSpan = 0
+		s.obs.queueWait.Observe(head.started.Sub(head.submitted).Seconds())
 		ctx, cancel := context.WithCancelCause(context.Background())
 		head.cancel = cancel
 		s.m.Admitted++
@@ -721,6 +807,8 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 	// the memory the engine will enforce. With a plan cache, a repeat
 	// submission of the same document at the same budget tier and DOP
 	// reuses the previously ranked plan and skips enumeration entirely.
+	tr := j.trace
+	optSpan := tr.Begin(0, "optimize", obs.KindPhase)
 	var plan *optimizer.PhysPlan
 	var key planKey
 	cached := false
@@ -733,19 +821,28 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 	if !cached {
 		tree, err := optimizer.FromFlow(j.spec.Flow)
 		if err != nil {
-			return nil, nil, fmt.Errorf("jobs: optimize: %w", err)
+			err = fmt.Errorf("jobs: optimize: %w", err)
+			tr.Fail(optSpan, err)
+			return nil, nil, err
 		}
 		// The measured transport profile (zero without workers) scales the
 		// ranking's Net term to the wire the job will actually cross.
 		ranked := optimizer.RankAllNet(tree, optimizer.NewEstimator(j.spec.Flow), dop, float64(j.grant), s.netProfile)
 		if len(ranked) == 0 {
-			return nil, nil, errors.New("jobs: optimizer produced no plan")
+			err := errors.New("jobs: optimizer produced no plan")
+			tr.Fail(optSpan, err)
+			return nil, nil, err
 		}
 		plan = ranked[0].Phys
 		if s.planCache != nil && j.spec.PlanKey != "" {
 			s.planCache.storePlan(key, planEntry{plan: plan, cost: ranked[0].Cost})
 		}
 	}
+	tr.EndWith(optSpan, func(sp *obs.Span) {
+		if cached {
+			sp.Detail = "plan-cache hit"
+		}
+	})
 	j.s.mu.Lock()
 	j.planned = time.Now()
 	j.s.mu.Unlock()
@@ -770,6 +867,10 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 		eng.SpillDir = ""
 		eng.DOP = s.cfg.DOP
 		eng.Transport = nil
+		// The trace is per-job; the next job must not record into it. The
+		// shared histogram set (eng.Hists) intentionally survives the reset.
+		eng.Trace = nil
+		eng.TraceParent = 0
 		s.pool <- eng
 	}()
 	eng.DOP = dop
@@ -801,7 +902,19 @@ func (s *Scheduler) execute(ctx context.Context, j *Job) (record.DataSet, *engin
 		}
 	}
 
-	return eng.RunContext(ctx, plan)
+	// The run span parents every operator span the engine records; its
+	// extent is the engine's whole execution of this job's plan.
+	runSpan := tr.Begin(0, "run", obs.KindPhase)
+	eng.Trace = tr
+	eng.TraceParent = runSpan
+	out, stats, err := eng.RunContext(ctx, plan)
+	if err != nil {
+		tr.Fail(runSpan, err)
+	} else {
+		records := int64(len(out))
+		tr.EndWith(runSpan, func(sp *obs.Span) { sp.Records = records })
+	}
+	return out, stats, err
 }
 
 // finishJob releases the job's grant, records its terminal state, and
@@ -817,6 +930,7 @@ func (s *Scheduler) finishJob(j *Job, out record.DataSet, stats *engine.RunStats
 	delete(s.inFlight, j)
 	j.output, j.stats = out, stats
 	j.finish(err)
+	s.obs.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
 	switch j.state {
 	case StateSucceeded:
 		s.m.Succeeded++
@@ -839,11 +953,14 @@ func (s *Scheduler) Metrics() Metrics {
 	m.GrantedBudget = s.granted
 	m.GlobalBudget = s.cfg.GlobalBudget
 	m.QueuedCost = s.queuedCost
+	m.UptimeSec = time.Since(s.obs.start).Seconds()
+	m.Histograms = s.obs.histograms()
 	if s.workers != nil {
 		m.Workers = len(s.cfg.Workers)
 		m.HealthyWorkers = s.workers.lastHealthy()
 		m.NetBytesPerSec = s.netProfile.BytesPerSec
 		m.NetLatencySec = s.netProfile.LatencySec
+		m.WorkerNet = s.workers.workerNet()
 	}
 	if s.planCache != nil {
 		m.FlowCacheHits, m.FlowCacheMisses, m.PlanCacheHits, m.PlanCacheMisses = s.planCache.counters()

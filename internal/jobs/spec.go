@@ -105,6 +105,7 @@ type Row []any
 // Spec ready for Submit. Unknown JSON fields are rejected so typos fail
 // loudly rather than silently dropping a hint.
 func ParseScriptJob(raw []byte) (Spec, error) {
+	start := time.Now()
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.UseNumber()
 	dec.DisallowUnknownFields()
@@ -112,7 +113,12 @@ func ParseScriptJob(raw []byte) (Spec, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return Spec{}, fmt.Errorf("jobs: bad job document: %w", err)
 	}
-	return CompileScriptJob(&doc)
+	spec, err := CompileScriptJob(&doc)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec.CompileStart, spec.CompileEnd = start, time.Now()
+	return spec, nil
 }
 
 // CompileScriptJob turns a decoded job document into a Spec: UDFs are
@@ -176,6 +182,7 @@ func CompileScriptJob(doc *ScriptJob) (Spec, error) {
 // can reuse the cached optimized plan and its cost estimate too. With the
 // cache disabled (Config.PlanCacheSize < 0) this is plain ParseScriptJob.
 func (s *Scheduler) ParseScriptJob(raw []byte) (Spec, error) {
+	start := time.Now()
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.UseNumber()
 	dec.DisallowUnknownFields()
@@ -184,7 +191,12 @@ func (s *Scheduler) ParseScriptJob(raw []byte) (Spec, error) {
 		return Spec{}, fmt.Errorf("jobs: bad job document: %w", err)
 	}
 	if s.planCache == nil {
-		return CompileScriptJob(&doc)
+		spec, err := CompileScriptJob(&doc)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.CompileStart, spec.CompileEnd = start, time.Now()
+		return spec, nil
 	}
 	if strings.TrimSpace(doc.Script) == "" {
 		return Spec{}, fmt.Errorf("jobs: job document has no script")
@@ -212,8 +224,8 @@ func (s *Scheduler) ParseScriptJob(raw []byte) (Spec, error) {
 		s.planCache.storeDocKey(string(rawDigest[:]), hash)
 	}
 
-	flow, ok := s.planCache.flow(hash)
-	if !ok {
+	flow, cached := s.planCache.flow(hash)
+	if !cached {
 		prog, err := frontend.Compile(doc.Script)
 		if err != nil {
 			return Spec{}, fmt.Errorf("jobs: compile script: %w", err)
@@ -238,14 +250,17 @@ func (s *Scheduler) ParseScriptJob(raw []byte) (Spec, error) {
 		sources[src.Name] = remapped
 	}
 	return Spec{
-		Name:         doc.Name,
-		Tenant:       doc.Tenant,
-		PlanKey:      hash,
-		Flow:         flow,
-		Sources:      sources,
-		DOP:          doc.DOP,
-		MemoryBudget: doc.MemoryBudgetBytes,
-		Deadline:     time.Duration(doc.DeadlineMillis) * time.Millisecond,
+		Name:          doc.Name,
+		Tenant:        doc.Tenant,
+		PlanKey:       hash,
+		Flow:          flow,
+		Sources:       sources,
+		DOP:           doc.DOP,
+		MemoryBudget:  doc.MemoryBudgetBytes,
+		Deadline:      time.Duration(doc.DeadlineMillis) * time.Millisecond,
+		CompileStart:  start,
+		CompileEnd:    time.Now(),
+		CompileCached: cached,
 	}, nil
 }
 

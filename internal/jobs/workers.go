@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"blackboxflow/internal/obs"
 	"blackboxflow/internal/optimizer"
 	"blackboxflow/internal/transport"
 )
@@ -13,14 +14,21 @@ import (
 // asks it which workers currently answer control pings; the sweep result
 // is cached for a TTL so admitting a burst of jobs does not turn into a
 // ping storm, and a worker that dies mid-fleet drops out of placement
-// within one TTL instead of failing every job placed on it forever.
+// within one TTL instead of failing every job placed on it forever. Each
+// ping doubles as a stats collection: the worker's pong payload carries
+// its relay traffic totals, retained per address for metrics snapshots.
 type workerPool struct {
 	addrs []string
 	ttl   time.Duration
+	// pingHist observes each successful ping's RTT (nil = no observation).
+	pingHist *obs.Histogram
 
 	mu      sync.Mutex
 	checked time.Time
 	healthy []string
+	// net holds the last stats each worker reported; a worker that stops
+	// answering keeps its final entry (last-known totals).
+	net map[string]transport.WorkerStats
 }
 
 // defaultWorkerHealthTTL is how long one health sweep's verdict is reused.
@@ -29,11 +37,16 @@ const defaultWorkerHealthTTL = 5 * time.Second
 // workerPingTimeout bounds one health-check ping.
 const workerPingTimeout = 2 * time.Second
 
-func newWorkerPool(addrs []string, ttl time.Duration) *workerPool {
+func newWorkerPool(addrs []string, ttl time.Duration, pingHist *obs.Histogram) *workerPool {
 	if ttl <= 0 {
 		ttl = defaultWorkerHealthTTL
 	}
-	return &workerPool{addrs: append([]string(nil), addrs...), ttl: ttl}
+	return &workerPool{
+		addrs:    append([]string(nil), addrs...),
+		ttl:      ttl,
+		pingHist: pingHist,
+		net:      map[string]transport.WorkerStats{},
+	}
 }
 
 // healthyWorkers returns the workers that answered the most recent health
@@ -51,6 +64,7 @@ func (p *workerPool) healthyWorkers() []string {
 	p.mu.Unlock()
 
 	alive := make([]bool, len(p.addrs))
+	stats := make([]transport.WorkerStats, len(p.addrs))
 	var wg sync.WaitGroup
 	for i, addr := range p.addrs {
 		wg.Add(1)
@@ -58,7 +72,13 @@ func (p *workerPool) healthyWorkers() []string {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), workerPingTimeout)
 			defer cancel()
-			alive[i] = transport.Ping(ctx, addr, nil) == nil
+			st, err := transport.PingStats(ctx, addr, nil)
+			if err != nil {
+				return
+			}
+			alive[i] = true
+			stats[i] = st
+			p.pingHist.Observe(st.RTT.Seconds())
 		}(i, addr)
 	}
 	wg.Wait()
@@ -71,8 +91,32 @@ func (p *workerPool) healthyWorkers() []string {
 	p.mu.Lock()
 	p.checked = time.Now()
 	p.healthy = healthy
+	for i, ok := range alive {
+		if ok {
+			p.net[p.addrs[i]] = stats[i]
+		}
+	}
 	p.mu.Unlock()
 	return healthy
+}
+
+// workerNet returns the per-worker traffic stats from the most recent
+// sweeps, in the metrics snapshot form.
+func (p *workerPool) workerNet() map[string]WorkerNetStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.net) == 0 {
+		return nil
+	}
+	out := make(map[string]WorkerNetStats, len(p.net))
+	for addr, st := range p.net {
+		out[addr] = WorkerNetStats{
+			RTTSeconds: st.RTT.Seconds(),
+			Frames:     st.Frames,
+			Bytes:      st.Bytes,
+		}
+	}
+	return out
 }
 
 // lastHealthy returns the cached sweep verdict without refreshing it (for

@@ -1,0 +1,49 @@
+// Package obs is the repository's zero-dependency observability layer:
+// structured execution traces (span trees per job), fixed-bucket histogram
+// metrics, and exposition helpers (Prometheus text format, Chrome
+// trace_event JSON for Perfetto). Everything is stdlib-only and built to be
+// always-on at near-zero cost on the engine's hot paths:
+//
+//   - A Trace is a flat, append-only span table guarded by one mutex. Spans
+//     are recorded at operator and phase granularity — never per record —
+//     so a traced run performs a handful of lock acquisitions per operator.
+//     Hot loops (shuffle senders, spill collectors) accumulate into
+//     per-partition locals that the operator folds into pre-timed spans at
+//     the end (Trace.Import), exactly like the engine's OpStats counters.
+//   - A Histogram is a fixed set of atomic bucket counters. Observe is one
+//     atomic add per bucket plus a CAS loop for the sum; no locks, no
+//     allocation, safe from any goroutine.
+//
+// The engine records spans through Engine.Trace (see internal/engine), the
+// scheduler owns the per-job trace lifecycle and the service histograms
+// (internal/jobs), and cmd/flowserve serves both: GET /jobs/{id}/trace for
+// the span tree (?format=chrome for Perfetto) and GET /metrics?format=prom
+// for the Prometheus exposition. See DESIGN.md ("Observability").
+package obs
+
+// Span kinds. Kinds classify spans for rendering and filtering; the span
+// tree's shape carries the execution structure.
+const (
+	// KindJob is the root span of a job trace: submission to terminal state.
+	KindJob = "job"
+	// KindPhase marks a service-tier lifecycle phase: compile, optimize,
+	// queue (admission wait), run.
+	KindPhase = "phase"
+	// KindOp is one operator's execution within the run phase.
+	KindOp = "op"
+	// KindShip is an operator's input-shipping phase (shuffle, broadcast).
+	KindShip = "ship"
+	// KindCombine is a combining shuffle: Map chain → combine → ship fused
+	// into the senders.
+	KindCombine = "combine"
+	// KindSpill is a budget-overflowing receiver's sorted-run writing,
+	// folded per partition at operator end.
+	KindSpill = "spill-write"
+	// KindMerge is external sort-merge execution over spilled runs.
+	KindMerge = "merge"
+	// KindLocal is an operator's local strategy (grouping, joining, UDFs).
+	KindLocal = "local"
+	// KindTransport is one worker connection's share of a shuffle: bytes
+	// and frames that crossed the wire to one flowworker.
+	KindTransport = "transport"
+)

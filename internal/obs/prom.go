@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type for Prometheus text exposition
+// format version 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4) to an
+// underlying writer. Metric families are written in call order; the caller
+// groups samples of one family into a single call so HELP/TYPE headers
+// appear exactly once per family, as the format requires.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w for Prometheus text output.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promFloat formats a sample value. Prometheus accepts Go's shortest
+// round-trip float formatting.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set as {k="v",...}, keys sorted, values
+// escaped per the exposition format. Empty input renders as "".
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		fmt.Fprintf(&b, `%s="%s"`, k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter writes one counter family with a single unlabeled sample.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// Gauge writes one gauge family with a single unlabeled sample.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// GaugeVec writes one gauge family with one sample per label set.
+// Samples are written in sorted label order for stable output.
+func (p *PromWriter) GaugeVec(name, help string, samples []LabeledValue) {
+	p.header(name, help, "gauge")
+	sorted := append([]LabeledValue(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return promLabels(sorted[i].Labels) < promLabels(sorted[j].Labels)
+	})
+	for _, s := range sorted {
+		p.printf("%s%s %s\n", name, promLabels(s.Labels), promFloat(s.Value))
+	}
+}
+
+// LabeledValue is one sample of a labeled metric family.
+type LabeledValue struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Histogram writes one histogram family from a snapshot: cumulative
+// _bucket samples with `le` labels (ending at le="+Inf"), then _sum and
+// _count.
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot) {
+	p.header(name, help, "histogram")
+	if len(s.Counts) == 0 {
+		// Zero-value snapshot (nil histogram): still emit a well-formed
+		// family with the mandatory +Inf bucket.
+		s.Counts = []int64{0}
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = promFloat(s.Bounds[i])
+		}
+		p.printf("%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	p.printf("%s_sum %s\n", name, promFloat(s.Sum))
+	p.printf("%s_count %d\n", name, s.Count)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -270,7 +271,7 @@ func calibrateConn(conn net.Conn) (time.Duration, float64, error) {
 	rtt := time.Duration(1<<63 - 1)
 	for i := 0; i < pings; i++ {
 		start := time.Now()
-		if err := pingConn(conn, br); err != nil {
+		if _, err := pingConn(conn, br); err != nil {
 			return 0, 0, err
 		}
 		if d := time.Since(start); d < rtt {
@@ -296,38 +297,66 @@ func calibrateConn(conn net.Conn) (time.Duration, float64, error) {
 	return rtt, bps, nil
 }
 
+// WorkerStats is a worker's health-ping result: the measured round-trip
+// time plus the relay counters the worker reports in its pong payload —
+// data frames (and their wire bytes) relayed across all shuffle
+// connections since the worker started.
+type WorkerStats struct {
+	RTT    time.Duration
+	Frames int64
+	Bytes  int64
+}
+
 // Ping health-checks a worker over a fresh control connection; d nil dials
 // real TCP. It returns nil when the worker answers the ping.
 func Ping(ctx context.Context, addr string, d Dialer) error {
+	_, err := PingStats(ctx, addr, d)
+	return err
+}
+
+// PingStats health-checks a worker and returns its measured RTT plus the
+// worker's self-reported relay counters; d nil dials real TCP.
+func PingStats(ctx context.Context, addr string, d Dialer) (WorkerStats, error) {
 	if d == nil {
 		d = netDialer{}
 	}
 	conn, err := d.DialContext(ctx, addr)
 	if err != nil {
-		return err
+		return WorkerStats{}, err
 	}
 	defer conn.Close()
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	}
 	if err := writeHandshake(conn, connKindControl); err != nil {
-		return err
+		return WorkerStats{}, err
 	}
-	return pingConn(conn, bufio.NewReader(conn))
+	start := time.Now()
+	st, err := pingConn(conn, bufio.NewReader(conn))
+	if err != nil {
+		return WorkerStats{}, err
+	}
+	st.RTT = time.Since(start)
+	return st, nil
 }
 
-func pingConn(conn net.Conn, br *bufio.Reader) error {
+// pingConn runs one ping round: a pong byte followed by the worker's
+// 16-byte counter payload (u64 frames, u64 bytes relayed, little-endian).
+func pingConn(conn net.Conn, br *bufio.Reader) (WorkerStats, error) {
 	if _, err := conn.Write([]byte{controlPing}); err != nil {
-		return err
+		return WorkerStats{}, err
 	}
-	b, err := br.ReadByte()
-	if err != nil {
-		return err
+	var reply [1 + 16]byte
+	if _, err := io.ReadFull(br, reply[:]); err != nil {
+		return WorkerStats{}, err
 	}
-	if b != controlPong {
-		return fmt.Errorf("transport: ping answered %d, want pong", b)
+	if reply[0] != controlPong {
+		return WorkerStats{}, fmt.Errorf("transport: ping answered %d, want pong", reply[0])
 	}
-	return nil
+	return WorkerStats{
+		Frames: int64(binary.LittleEndian.Uint64(reply[1:9])),
+		Bytes:  int64(binary.LittleEndian.Uint64(reply[9:17])),
+	}, nil
 }
 
 func echoConn(conn net.Conn, br *bufio.Reader, payload []byte) error {
@@ -366,6 +395,13 @@ type tcpWorkerConn struct {
 	addr    string
 	targets []int
 
+	// Traffic counters for WireStats. Atomics because the write side
+	// (senders under mu) and the read side (demux goroutine) update them
+	// concurrently, and the engine reads them after its collectors drain
+	// while a demux goroutine may still be winding down.
+	framesOut, framesIn atomic.Int64
+	bytesOut, bytesIn   atomic.Int64
+
 	mu  sync.Mutex
 	buf []byte
 	err error // sticky write-side error
@@ -385,6 +421,8 @@ func (wc *tcpWorkerConn) sendBatch(target int, b *record.Batch) error {
 		wc.err = fmt.Errorf("transport: write to worker %s: %w", wc.addr, err)
 		return wc.err
 	}
+	wc.framesOut.Add(1)
+	wc.bytesOut.Add(int64(len(wc.buf)))
 	return nil
 }
 
@@ -455,6 +493,8 @@ func (s *tcpShuffle) demux(wc *tcpWorkerConn) {
 			s.failTargets(wc, err)
 			return
 		}
+		wc.framesIn.Add(1)
+		wc.bytesIn.Add(int64(dataFrameHeaderSize + len(f.payload)))
 		s.recv[f.target] <- b
 	}
 }
@@ -479,6 +519,26 @@ func (s *tcpShuffle) SenderDone() {
 	for _, wc := range s.conns {
 		wc.sendEOS()
 	}
+}
+
+// WireStats reports per-worker traffic for the session, sorted by worker
+// address. Sessions with no remotely placed targets return nil.
+func (s *tcpShuffle) WireStats() []WireStat {
+	out := make([]WireStat, 0, len(s.conns))
+	for _, wc := range s.conns {
+		out = append(out, WireStat{
+			Addr:      wc.addr,
+			FramesOut: wc.framesOut.Load(),
+			FramesIn:  wc.framesIn.Load(),
+			BytesOut:  wc.bytesOut.Load(),
+			BytesIn:   wc.bytesIn.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func (s *tcpShuffle) Recv(target int) (*record.Batch, error) {

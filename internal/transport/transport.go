@@ -97,6 +97,29 @@ type Transport interface {
 	Close() error
 }
 
+// WireStat is one worker connection's traffic totals for a shuffle
+// session: frames and wire bytes pushed out to the worker and streamed
+// back. The engine folds these into per-worker transport spans on the
+// job trace.
+type WireStat struct {
+	// Addr is the worker's address.
+	Addr string
+	// FramesOut/BytesOut count data frames (and their wire bytes, header
+	// included) written to the worker; FramesIn/BytesIn count the relay
+	// stream read back. EOS markers are not counted.
+	FramesOut, FramesIn int64
+	BytesOut, BytesIn   int64
+}
+
+// WireStater is implemented by shuffle sessions that move bytes over a
+// real wire (the TCP transport). Sessions without per-worker traffic —
+// the in-process channel transport — simply don't implement it.
+// WireStats must be safe to call once every sender and collector of the
+// session has finished.
+type WireStater interface {
+	WireStats() []WireStat
+}
+
 // Calibration is a measured transport profile: what a shipped byte and a
 // shuffle round trip actually cost on this interconnect. The optimizer
 // feeds it into the cost model in place of the simulated NetBandwidth

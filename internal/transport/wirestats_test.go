@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blackboxflow/internal/record"
+)
+
+// TestWireStatsAndPingCounters pins the observability seam of the TCP
+// transport: a session reports per-worker frame/byte traffic (WireStats),
+// and the worker's pong payload reports its relay totals (PingStats), so
+// health sweeps can collect traffic without a separate stats op.
+func TestWireStatsAndPingCounters(t *testing.T) {
+	const targets = 4
+	tp := newTCP(t, 2, 0) // all-remote placement: every target on a worker
+
+	sh, err := tp.OpenShuffle(context.Background(), Spec{Senders: 1, Targets: targets})
+	if err != nil {
+		t.Fatalf("OpenShuffle: %v", err)
+	}
+	parts := genParts(1, 200)
+	var cwg sync.WaitGroup
+	var got atomic.Int64
+	for i := 0; i < targets; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			for {
+				b, err := sh.Recv(i)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				if b == nil {
+					return
+				}
+				got.Add(int64(b.Len()))
+				record.PutBatch(b)
+			}
+		}(i)
+	}
+	for i, r := range parts[0] {
+		b := record.GetBatch()
+		b.Append(r)
+		if err := sh.Send(i%targets, b); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	sh.SenderDone()
+	cwg.Wait()
+	if got.Load() != 200 {
+		t.Fatalf("received %d records, want 200", got.Load())
+	}
+
+	ws, ok := sh.(WireStater)
+	if !ok {
+		t.Fatal("TCP session does not implement WireStater")
+	}
+	stats := ws.WireStats()
+	if len(stats) != 2 {
+		t.Fatalf("wire stats for %d workers, want 2", len(stats))
+	}
+	var frames, bytes int64
+	for _, st := range stats {
+		if st.Addr == "" {
+			t.Fatal("wire stat missing worker address")
+		}
+		if st.FramesOut != st.FramesIn || st.BytesOut != st.BytesIn {
+			t.Fatalf("relay should echo traffic exactly: %+v", st)
+		}
+		if st.FramesOut == 0 || st.BytesOut == 0 {
+			t.Fatalf("no traffic recorded for %s: %+v", st.Addr, st)
+		}
+		frames += st.FramesOut
+		bytes += st.BytesOut
+	}
+	if frames != 200 {
+		t.Fatalf("frames out = %d, want 200 (one per single-record batch)", frames)
+	}
+	sh.Close()
+
+	// The workers' own relay counters, summed over the fleet, must match
+	// what the session saw cross the wire.
+	var pingFrames, pingBytes int64
+	for _, addr := range tp.cfg.Workers {
+		st, err := PingStats(context.Background(), addr, nil)
+		if err != nil {
+			t.Fatalf("PingStats(%s): %v", addr, err)
+		}
+		if st.RTT <= 0 {
+			t.Fatalf("PingStats(%s) RTT = %v", addr, st.RTT)
+		}
+		pingFrames += st.Frames
+		pingBytes += st.Bytes
+	}
+	if pingFrames != frames || pingBytes != bytes {
+		t.Fatalf("worker relay counters (%d frames, %d bytes) != session wire stats (%d frames, %d bytes)",
+			pingFrames, pingBytes, frames, bytes)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // A Worker hosts remote shuffle partitions for the TCP transport: the
@@ -26,10 +27,17 @@ import (
 // Wire protocol: every connection opens with a 6-byte handshake (magic
 // "bbfw", version, connection kind). A shuffle connection then carries
 // data/EOS frames (see frame.go), relayed back verbatim. A control
-// connection answers single-byte ops: ping (health checks) and a
-// length-prefixed echo (bandwidth calibration).
+// connection answers single-byte ops: ping (health checks; the pong
+// carries the worker's relay counters so sweeps collect traffic totals
+// for free) and a length-prefixed echo (bandwidth calibration).
 type Worker struct {
 	ln net.Listener
+
+	// Relay traffic totals across all shuffle connections since start,
+	// reported in every pong payload. Atomics: each shuffle connection's
+	// handler increments them concurrently.
+	relayFrames atomic.Int64
+	relayBytes  atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -41,7 +49,9 @@ type Worker struct {
 var handshakeMagic = [4]byte{'b', 'b', 'f', 'w'}
 
 const (
-	protocolVersion byte = 1
+	// protocolVersion 2: the pong reply grew a 16-byte relay-counter
+	// payload (u64 frames, u64 bytes, little-endian).
+	protocolVersion byte = 2
 
 	connKindControl byte = 0
 	connKindShuffle byte = 1
@@ -61,6 +71,13 @@ func NewWorker(ln net.Listener) *Worker {
 
 // Addr returns the listen address (for workers bound to port 0).
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// RelayStats returns the worker's lifetime relay totals: data frames and
+// bytes forwarded between shuffle senders and collectors. The same totals
+// ride every ping reply (PingStats).
+func (w *Worker) RelayStats() (frames, bytes int64) {
+	return w.relayFrames.Load(), w.relayBytes.Load()
+}
 
 // Serve accepts and serves connections until the worker is closed. It
 // returns nil after Close, or the listener's error.
@@ -139,7 +156,11 @@ func (w *Worker) serveControl(br *bufio.Reader, conn net.Conn) {
 		}
 		switch op {
 		case controlPing:
-			if bw.WriteByte(controlPong) != nil || bw.Flush() != nil {
+			var pong [1 + 16]byte
+			pong[0] = controlPong
+			binary.LittleEndian.PutUint64(pong[1:9], uint64(w.relayFrames.Load()))
+			binary.LittleEndian.PutUint64(pong[9:17], uint64(w.relayBytes.Load()))
+			if _, err := bw.Write(pong[:]); err != nil || bw.Flush() != nil {
 				return
 			}
 		case controlCalib:
@@ -193,6 +214,8 @@ func (w *Worker) serveShuffle(br *bufio.Reader, conn net.Conn) {
 			bw.Flush()
 			return
 		}
+		w.relayFrames.Add(1)
+		w.relayBytes.Add(int64(dataFrameHeaderSize + len(f.payload)))
 		if err := bw.Flush(); err != nil {
 			return
 		}
